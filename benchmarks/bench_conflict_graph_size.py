@@ -1,0 +1,76 @@
+"""E5 — local simulability: the conflict graph G_k is polynomial and host-local.
+
+Reports the measured size of ``G_k`` against the closed forms
+(``|V| = k·Σ|e|``, ``|E| ≤ |V|²/2``) over a sweep of instance sizes and
+palette sizes, and the dilation/congestion of the natural embedding of
+``G_k`` into the hypergraph's primal graph (dilation ≤ 2 is what makes the
+LOCAL simulation of the conflict graph constant-overhead).
+"""
+
+from __future__ import annotations
+
+from repro.analysis import conflict_graph_scaling_row, print_table
+from repro.core import ConflictGraph
+from repro.hypergraph import colorable_almost_uniform_hypergraph
+from repro.local_model import VirtualGraphEmbedding
+
+
+def _scaling_sweep():
+    rows = []
+    for idx, (n, m) in enumerate([(20, 12), (40, 25), (60, 40), (80, 55)]):
+        hypergraph, _ = colorable_almost_uniform_hypergraph(n=n, m=m, k=3, seed=200 + idx)
+        for k in (2, 3, 5):
+            row = conflict_graph_scaling_row(hypergraph, k)
+            rows.append(
+                [
+                    f"n={n},m={m}",
+                    k,
+                    int(row["cg_vertices"]),
+                    int(row["cg_vertices_formula"]),
+                    int(row["cg_edges"]),
+                    int(row["cg_edges_upper_bound"]),
+                    row["cg_vertices"] == row["cg_vertices_formula"],
+                ]
+            )
+    return rows
+
+
+def _embedding_sweep():
+    rows = []
+    for idx, (n, m) in enumerate([(20, 12), (40, 25), (60, 40)]):
+        hypergraph, _ = colorable_almost_uniform_hypergraph(n=n, m=m, k=3, seed=300 + idx)
+        conflict_graph = ConflictGraph(hypergraph, 3)
+        embedding = VirtualGraphEmbedding(
+            hypergraph.primal_graph(), conflict_graph.graph, conflict_graph.host_assignment()
+        )
+        stats = embedding.stats()
+        rows.append(
+            [
+                f"n={n},m={m}",
+                stats.num_virtual_vertices,
+                stats.num_virtual_edges,
+                stats.max_congestion,
+                stats.dilation,
+                stats.dilation <= 2,
+            ]
+        )
+    return rows
+
+
+def test_conflict_graph_size_table(benchmark):
+    scaling_rows = benchmark.pedantic(_scaling_sweep, rounds=1, iterations=1)
+    print_table(
+        "E5  conflict graph size vs. closed forms",
+        ["instance", "k", "|V(G_k)|", "k*sum|e|", "|E(G_k)|", "|V|^2/2 bound", "formula matches"],
+        scaling_rows,
+    )
+    assert all(row[-1] for row in scaling_rows)
+    assert all(row[4] <= row[5] for row in scaling_rows)
+
+    embedding_rows = _embedding_sweep()
+    print_table(
+        "E5  embedding of G_k into the primal graph (local simulability)",
+        ["instance", "virtual vertices", "virtual edges", "max congestion", "dilation", "dilation <= 2"],
+        embedding_rows,
+    )
+    assert all(row[-1] for row in embedding_rows)

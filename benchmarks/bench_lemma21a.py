@@ -1,0 +1,55 @@
+"""E1 — Lemma 2.1(a): a CF k-coloring induces a maximum independent set of size m.
+
+Regenerates the quantitative content of Lemma 2.1(a): for every instance in
+the workload family, the independent set ``I_f`` induced by the planted
+conflict-free coloring has size exactly ``m = |E(H)|``, is independent in
+``G_k``, and (on the small instance where the exact optimum is computable)
+``α(G_k) = m``.
+"""
+
+from __future__ import annotations
+
+from repro.analysis import print_table
+from repro.core import ConflictGraph, maximum_independent_set_size_bound, verify_lemma_21a
+from repro.graphs import independence_number
+
+from benchmarks.conftest import hypergraph_family
+
+
+def _run_family():
+    rows = []
+    for label, hypergraph, planted, k in hypergraph_family():
+        conflict_graph = ConflictGraph(hypergraph, k)
+        witness = verify_lemma_21a(conflict_graph, planted)
+        rows.append(
+            [
+                label,
+                hypergraph.num_edges(),
+                len(witness),
+                maximum_independent_set_size_bound(conflict_graph),
+                len(witness) == hypergraph.num_edges(),
+            ]
+        )
+    return rows
+
+
+def test_lemma21a_table(benchmark, small_colorable_instance):
+    rows = benchmark.pedantic(_run_family, rounds=1, iterations=1)
+    print_table(
+        "E1  Lemma 2.1(a): |I_f| = m for planted CF colorings",
+        ["instance", "m = |E(H)|", "|I_f|", "alpha upper bound", "matches"],
+        rows,
+    )
+    assert all(row[-1] for row in rows)
+
+    # Exact optimum cross-check on the small shared instance.
+    hypergraph, planted, k = small_colorable_instance
+    conflict_graph = ConflictGraph(hypergraph, k)
+    witness = verify_lemma_21a(conflict_graph, planted)
+    alpha = independence_number(conflict_graph.graph)
+    print_table(
+        "E1  exact optimum cross-check (small instance)",
+        ["m", "|I_f|", "alpha(G_k)"],
+        [[hypergraph.num_edges(), len(witness), alpha]],
+    )
+    assert alpha == hypergraph.num_edges() == len(witness)

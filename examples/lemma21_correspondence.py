@@ -1,0 +1,90 @@
+#!/usr/bin/env python3
+"""Walk through the Lemma 2.1 correspondence on a concrete instance.
+
+The lemma relates conflict-free k-colorings of a hypergraph H to
+independent sets of the conflict graph G_k:
+
+* direction (a): a conflict-free coloring induces a *maximum* independent
+  set of size m = |E(H)|;
+* direction (b): any independent set induces a well-defined partial
+  coloring making at least |I| hyperedges happy.
+
+The script builds G_k, checks both directions with the library's verifiers,
+and prints the size accounting (|V(G_k)| = k·Σ|e|, α(G_k) = m).
+
+Run with:  python examples/lemma21_correspondence.py
+"""
+
+from __future__ import annotations
+
+from repro import colorable_almost_uniform_hypergraph, get_approximator
+from repro.analysis import format_table
+from repro.core import (
+    ConflictGraph,
+    coloring_to_independent_set,
+    happy_edges_of_independent_set,
+    independent_set_to_coloring,
+    maximum_independent_set_size_bound,
+    verify_lemma_21a,
+    verify_lemma_21b,
+)
+from repro.graphs import independence_number
+
+
+def main() -> None:
+    # Kept deliberately small so that the exact alpha(G_k) cross-check below
+    # (an exponential-time computation) finishes instantly.
+    k = 2
+    hypergraph, planted = colorable_almost_uniform_hypergraph(n=18, m=10, k=k, seed=13)
+    conflict_graph = ConflictGraph(hypergraph, k)
+
+    print("conflict graph size accounting")
+    print(
+        format_table(
+            ["quantity", "value"],
+            [
+                ["n = |V(H)|", hypergraph.num_vertices()],
+                ["m = |E(H)|", hypergraph.num_edges()],
+                ["sum of |e|", hypergraph.total_edge_size()],
+                ["|V(G_k)| (= k * sum |e|)", conflict_graph.num_vertices()],
+                ["|E(G_k)|", conflict_graph.num_edges()],
+            ],
+        )
+    )
+
+    # Direction (a): the planted coloring induces an independent set of size m.
+    witness = verify_lemma_21a(conflict_graph, planted)
+    print(f"\nLemma 2.1(a): |I_f| = {len(witness)} = m = {hypergraph.num_edges()}")
+    alpha = independence_number(conflict_graph.graph)
+    print(
+        f"exact alpha(G_k) = {alpha}  (upper bound from E_edge cliques: "
+        f"{maximum_independent_set_size_bound(conflict_graph)})"
+    )
+
+    # Direction (b): an approximate MaxIS induces a partial coloring with
+    # at least |I| happy edges.
+    oracle = get_approximator("luby-best-of-5")
+    independent_set = oracle(conflict_graph.graph)
+    happy = verify_lemma_21b(conflict_graph, independent_set)
+    partial = independent_set_to_coloring(conflict_graph, independent_set)
+    print(
+        f"\nLemma 2.1(b): oracle returned |I| = {len(independent_set)}; "
+        f"induced coloring colors {len(partial)} vertices and makes "
+        f"{len(happy)} edges happy (>= |I|)"
+    )
+
+    # Round trip: the witness of (a) maps back to a coloring that keeps every
+    # edge happy.
+    recovered = independent_set_to_coloring(conflict_graph, witness)
+    again_happy = happy_edges_of_independent_set(conflict_graph, witness)
+    print(
+        f"\nround trip: witness -> coloring colors {len(recovered)} vertices, "
+        f"{len(again_happy)}/{hypergraph.num_edges()} edges happy"
+    )
+    # Re-encode the recovered coloring; it again yields one triple per edge.
+    re_encoded = coloring_to_independent_set(conflict_graph, recovered)
+    print(f"re-encoded independent set size: {len(re_encoded)}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,64 @@
+#!/usr/bin/env python3
+"""The model gap that motivates the paper: MIS in SLOCAL vs. LOCAL.
+
+The introduction recalls that the maximal independent set problem
+
+* has an SLOCAL algorithm of locality 1 (process nodes in any order, join
+  if no processed neighbor joined), and
+* has a fast randomized LOCAL algorithm (Luby), but no known
+  polylogarithmic *deterministic* LOCAL algorithm —
+
+which is exactly the gap the P-SLOCAL completeness programme studies.
+This example runs both algorithms on a family of graphs and reports the
+SLOCAL locality, the LOCAL round counts, and the validity/size of the
+produced independent sets.
+
+Run with:  python examples/model_gap_mis.py
+"""
+
+from __future__ import annotations
+
+from repro.analysis import format_records, mis_model_comparison
+from repro.graphs import cycle_graph, erdos_renyi_graph, grid_graph, random_tree
+from repro.slocal import SLOCALEngine, SLOCALMIS, adversarial_orders
+
+
+def order_insensitivity_demo() -> None:
+    """Show that the SLOCAL MIS is valid for every (adversarial) processing order."""
+    from repro.graphs import is_maximal_independent_set
+
+    graph = erdos_renyi_graph(40, 0.12, seed=3)
+    engine = SLOCALEngine(graph)
+    sizes = []
+    for order in adversarial_orders(graph, n_random=3, seed=1):
+        result = engine.run(SLOCALMIS(), order=order)
+        mis = {v for v, joined in result.outputs.items() if joined}
+        assert is_maximal_independent_set(graph, mis)
+        sizes.append(len(mis))
+    print(
+        "SLOCAL MIS (locality 1) over 8 adversarial orders: "
+        f"all valid, sizes ranged {min(sizes)}..{max(sizes)}"
+    )
+
+
+def main() -> None:
+    workloads = [
+        ("cycle C_64", cycle_graph(64)),
+        ("grid 8x8", grid_graph(8, 8)),
+        ("tree n=64", random_tree(64, seed=5)),
+        ("G(64, 0.08)", erdos_renyi_graph(64, 0.08, seed=6)),
+        ("G(64, 0.20)", erdos_renyi_graph(64, 0.20, seed=7)),
+    ]
+    rows = []
+    for name, graph in workloads:
+        row = {"graph": name}
+        row.update(mis_model_comparison(graph, seed=11))
+        rows.append(row)
+    print("MIS across models (SLOCAL locality vs. LOCAL rounds):")
+    print(format_records(rows))
+    print()
+    order_insensitivity_demo()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,68 @@
+#!/usr/bin/env python3
+"""Network decompositions and the P-SLOCAL completeness landscape.
+
+(poly log, poly log)-network decomposition is the canonical
+P-SLOCAL-complete problem from [GKM17]; the paper proves that
+polylogarithmic MaxIS approximation joins that club.  This example
+
+* prints the completeness registry shipped with the library (which result
+  comes from which paper), and
+* computes ball-carving network decompositions on a few graphs, reporting
+  the realized (C, D) pairs against the polylog envelope.
+
+Run with:  python examples/network_decomposition_demo.py
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.analysis import format_records
+from repro.decomposition import ball_carving_decomposition, decomposition_quality, polylog_decomposition, verify_network_decomposition
+from repro.graphs import cycle_graph, erdos_renyi_graph, grid_graph
+from repro.reductions import summary_table
+
+
+def main() -> None:
+    print("P-SLOCAL completeness registry (problem, status, source):")
+    print(format_records(summary_table()))
+
+    workloads = [
+        ("cycle C_100", cycle_graph(100)),
+        ("grid 10x10", grid_graph(10, 10)),
+        ("G(80, 0.05)", erdos_renyi_graph(80, 0.05, seed=3)),
+        ("G(80, 0.15)", erdos_renyi_graph(80, 0.15, seed=4)),
+    ]
+    rows = []
+    for name, graph in workloads:
+        n = graph.num_vertices()
+        decomposition = polylog_decomposition(graph)
+        verify_network_decomposition(graph, decomposition)
+        colors, diameter = decomposition_quality(graph, decomposition)
+        rows.append(
+            {
+                "graph": name,
+                "n": n,
+                "clusters": decomposition.clustering.num_clusters(),
+                "C (cluster colors)": colors,
+                "D (weak diameter)": diameter,
+                "polylog envelope 2*ceil(log2 n)": 2 * math.ceil(math.log2(n)),
+            }
+        )
+    print("\nball-carving network decompositions (radius = ceil(log2 n)):")
+    print(format_records(rows))
+
+    print("\nsmaller radius trades diameter for colors (grid 10x10):")
+    grid = grid_graph(10, 10)
+    sweep = []
+    for radius in (0, 1, 2, 3, 5):
+        decomposition = ball_carving_decomposition(grid, radius)
+        verify_network_decomposition(grid, decomposition, max_diameter=2 * radius)
+        colors, diameter = decomposition_quality(grid, decomposition)
+        sweep.append({"radius": radius, "C": colors, "D": diameter,
+                      "clusters": decomposition.clustering.num_clusters()})
+    print(format_records(sweep))
+
+
+if __name__ == "__main__":
+    main()

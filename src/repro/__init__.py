@@ -1,0 +1,105 @@
+"""repro — reproduction of "P-SLOCAL-Completeness of Maximum Independent Set
+Approximation" (Yannic Maus, PODC 2019 / arXiv:1907.10499).
+
+The package implements the paper's reduction from conflict-free
+multicoloring to maximum-independent-set approximation, the Lemma 2.1
+correspondence through the conflict graph ``G_k``, and every substrate the
+argument rests on: hypergraphs, SLOCAL and LOCAL model simulators, MaxIS
+approximation algorithms, conflict-free colorings and network
+decompositions.
+
+Quickstart
+----------
+>>> from repro import (
+...     colorable_almost_uniform_hypergraph,
+...     get_approximator,
+...     solve_conflict_free_multicoloring,
+...     verify_reduction_result,
+... )
+>>> hypergraph, _ = colorable_almost_uniform_hypergraph(n=30, m=20, k=3, seed=1)
+>>> result = solve_conflict_free_multicoloring(
+...     hypergraph, k=3, approximator=get_approximator("greedy-min-degree"), lam=4.0
+... )
+>>> report = verify_reduction_result(hypergraph, result)
+>>> report.conflict_free
+True
+"""
+
+from repro.exceptions import (
+    ApproximationError,
+    ColoringError,
+    GraphError,
+    HypergraphError,
+    IndependenceError,
+    LocalityViolation,
+    ModelError,
+    ReductionError,
+    ReproError,
+    VerificationError,
+)
+from repro.graphs import Graph
+from repro.hypergraph import (
+    Hypergraph,
+    almost_uniform_hypergraph,
+    colorable_almost_uniform_hypergraph,
+    random_interval_hypergraph,
+)
+from repro.core import (
+    ConflictFreeMulticoloringViaMaxIS,
+    ConflictGraph,
+    ConflictVertex,
+    ReductionResult,
+    coloring_to_independent_set,
+    independent_set_to_coloring,
+    phase_budget,
+    solve_conflict_free_multicoloring,
+    verify_lemma_21a,
+    verify_lemma_21b,
+    verify_reduction_result,
+)
+from repro.coloring import Multicoloring, verify_conflict_free_coloring
+from repro.maxis import available_approximators, get_approximator
+from repro.slocal import SLOCALEngine, slocal_greedy_coloring, slocal_mis
+from repro.local_model import LocalNetwork, luby_mis, randomized_coloring
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ApproximationError",
+    "ColoringError",
+    "GraphError",
+    "HypergraphError",
+    "IndependenceError",
+    "LocalityViolation",
+    "ModelError",
+    "ReductionError",
+    "ReproError",
+    "VerificationError",
+    "Graph",
+    "Hypergraph",
+    "almost_uniform_hypergraph",
+    "colorable_almost_uniform_hypergraph",
+    "random_interval_hypergraph",
+    "ConflictFreeMulticoloringViaMaxIS",
+    "ConflictGraph",
+    "ConflictVertex",
+    "ReductionResult",
+    "coloring_to_independent_set",
+    "independent_set_to_coloring",
+    "phase_budget",
+    "solve_conflict_free_multicoloring",
+    "verify_lemma_21a",
+    "verify_lemma_21b",
+    "verify_reduction_result",
+    "Multicoloring",
+    "verify_conflict_free_coloring",
+    "available_approximators",
+    "get_approximator",
+    "SLOCALEngine",
+    "slocal_greedy_coloring",
+    "slocal_mis",
+    "LocalNetwork",
+    "luby_mis",
+    "randomized_coloring",
+    "__version__",
+]

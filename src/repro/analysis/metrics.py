@@ -1,0 +1,98 @@
+"""Cross-cutting metrics used by benchmarks: approximation quality, model costs.
+
+These helpers compute, for a given instance, the numbers that the
+experiment tables report side by side — e.g. the measured approximation
+ratio of every registered MaxIS oracle, or the SLOCAL-locality versus
+LOCAL-rounds comparison of benchmark E7.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, List, Optional
+
+from repro.graphs.graph import Graph
+from repro.graphs.independent_sets import independence_number
+from repro.maxis.approximators import available_approximators
+
+Vertex = Hashable
+
+
+def approximator_quality_table(
+    graph: Graph,
+    names: Optional[List[str]] = None,
+    optimum: Optional[int] = None,
+) -> List[Dict[str, float]]:
+    """Measure every (selected) registered approximator on one graph.
+
+    Returns one row per approximator with the set size, the measured ratio
+    ``α(G)/|I|`` and the worst-case guarantee the algorithm claims on this
+    instance.  ``optimum`` may be supplied to avoid recomputing α(G).
+    """
+    registry = available_approximators()
+    if names is None:
+        names = sorted(registry)
+    if optimum is None:
+        optimum = independence_number(graph)
+    rows: List[Dict[str, float]] = []
+    for name in names:
+        approximator = registry[name]
+        solution = approximator(graph)
+        ratio = (optimum / len(solution)) if solution else float("inf")
+        if optimum == 0:
+            ratio = 1.0
+        guarantee = approximator.guaranteed_lambda(graph)
+        rows.append(
+            {
+                "approximator": name,
+                "size": float(len(solution)),
+                "optimum": float(optimum),
+                "measured_ratio": ratio,
+                "guaranteed_lambda": float(guarantee) if guarantee is not None else float("nan"),
+            }
+        )
+    return rows
+
+
+def mis_model_comparison(graph: Graph, seed: int = 0) -> Dict[str, float]:
+    """Compare the SLOCAL locality-1 MIS with Luby's LOCAL MIS on one graph.
+
+    Returns the sizes of the two (valid) MIS outputs, the SLOCAL locality
+    (always 1), and the number of LOCAL communication rounds Luby's
+    algorithm used.
+    """
+    from repro.graphs.independent_sets import is_maximal_independent_set
+    from repro.local_model.algorithms import luby_mis
+    from repro.slocal.algorithms import slocal_mis
+
+    slocal_set = slocal_mis(graph)
+    luby_set, run = luby_mis(graph, seed=seed)
+    return {
+        "n": float(graph.num_vertices()),
+        "slocal_mis_size": float(len(slocal_set)),
+        "slocal_locality": 1.0,
+        "slocal_valid": 1.0 if is_maximal_independent_set(graph, slocal_set) else 0.0,
+        "luby_mis_size": float(len(luby_set)),
+        "luby_rounds": float(run.rounds),
+        "luby_valid": 1.0 if is_maximal_independent_set(graph, luby_set) else 0.0,
+    }
+
+
+def conflict_graph_scaling_row(hypergraph, k: int) -> Dict[str, float]:
+    """Size accounting of the conflict graph of one hypergraph (benchmark E5)."""
+    from repro.core.bounds import (
+        conflict_graph_edge_count_upper_bound,
+        conflict_graph_vertex_count,
+    )
+    from repro.core.conflict_graph import ConflictGraph
+
+    cg = ConflictGraph(hypergraph, k)
+    total = hypergraph.total_edge_size()
+    return {
+        "n": float(hypergraph.num_vertices()),
+        "m": float(hypergraph.num_edges()),
+        "k": float(k),
+        "cg_vertices": float(cg.num_vertices()),
+        "cg_vertices_formula": float(conflict_graph_vertex_count(total, k)),
+        "cg_edges": float(cg.num_edges()),
+        "cg_edges_upper_bound": float(conflict_graph_edge_count_upper_bound(total, k)),
+    }

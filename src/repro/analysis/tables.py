@@ -1,0 +1,73 @@
+"""Plain-text table rendering shared by the benchmark harness and the examples.
+
+The benchmark harness prints its reproduction tables to stdout (captured in
+``bench_output.txt``); a tiny formatter keeps those tables aligned and free
+of external dependencies.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Sequence, Union
+
+Cell = Union[str, int, float]
+
+
+def format_cell(value: Cell, precision: int = 3) -> str:
+    """Render a single cell: floats get fixed precision, everything else ``str``."""
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        if value == int(value) and abs(value) < 1e15:
+            return str(int(value))
+        return f"{value:.{precision}f}"
+    return str(value)
+
+
+def format_table(headers: Sequence[str], rows: Iterable[Sequence[Cell]], precision: int = 3) -> str:
+    """Render an aligned plain-text table with a header rule."""
+    rendered_rows: List[List[str]] = [[format_cell(c, precision) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in rendered_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    header_line = "  ".join(h.ljust(widths[i]) for i, h in enumerate(headers))
+    rule = "  ".join("-" * w for w in widths)
+    body = [
+        "  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row))
+        for row in rendered_rows
+    ]
+    return "\n".join([header_line, rule] + body)
+
+
+def format_records(records: Sequence[Dict[str, Cell]], precision: int = 3) -> str:
+    """Render a list of homogeneous dictionaries as a table (keys become headers)."""
+    if not records:
+        return "(no rows)"
+    headers = list(records[0].keys())
+    rows = [[record.get(h, "") for h in headers] for record in records]
+    return format_table(headers, rows, precision=precision)
+
+
+#: Accumulates every table printed via :func:`print_table` during a process.
+#: The benchmark harness replays this log in its terminal summary so the
+#: reproduction tables survive pytest's output capture.
+_TABLE_LOG: List[str] = []
+
+
+def print_table(title: str, headers: Sequence[str], rows: Iterable[Sequence[Cell]]) -> None:
+    """Print a titled table and record it in the in-process table log."""
+    text = f"\n== {title} ==\n{format_table(headers, list(rows))}\n"
+    _TABLE_LOG.append(text)
+    print(text, end="")
+
+
+def consume_table_log() -> str:
+    """Return every table printed so far and clear the log.
+
+    Used by the benchmark harness (``benchmarks/conftest.py``) to re-emit the
+    reproduction tables in pytest's terminal summary, where they are not
+    swallowed by per-test output capture.
+    """
+    text = "".join(_TABLE_LOG)
+    _TABLE_LOG.clear()
+    return text

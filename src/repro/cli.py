@@ -1,0 +1,149 @@
+"""Command-line interface of the reproduction.
+
+The CLI exposes the main entry points of the library without writing any
+Python: generating instances, running the reduction, checking the Lemma 2.1
+correspondence, and printing the P-SLOCAL completeness registry.
+
+Usage (after ``pip install -e .``)::
+
+    python -m repro registry
+    python -m repro reduce --vertices 40 --edges 25 --palette 3 --oracle greedy-min-degree --lam 5
+    python -m repro lemma21 --vertices 20 --edges 10 --palette 2
+    python -m repro models --vertices 48 --probability 0.1
+
+Every subcommand prints a plain-text table; seeds default to fixed values so
+runs are reproducible.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.analysis import (
+    format_records,
+    mis_model_comparison,
+    phase_summary,
+    run_summary,
+)
+from repro.core import (
+    ConflictGraph,
+    solve_conflict_free_multicoloring,
+    verify_lemma_21a,
+    verify_lemma_21b,
+    verify_reduction_result,
+)
+from repro.graphs import erdos_renyi_graph
+from repro.hypergraph import colorable_almost_uniform_hypergraph
+from repro.maxis import available_approximators, get_approximator
+from repro.reductions import summary_table
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Reproduction of 'P-SLOCAL-Completeness of Maximum Independent Set "
+            "Approximation' (Maus, PODC 2019)."
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    reduce_parser = sub.add_parser(
+        "reduce", help="run the Theorem 1.1 reduction on a generated hypergraph"
+    )
+    reduce_parser.add_argument("--vertices", type=int, default=40, help="number of hypergraph vertices")
+    reduce_parser.add_argument("--edges", type=int, default=25, help="number of hyperedges")
+    reduce_parser.add_argument("--palette", type=int, default=3, help="per-phase palette size k")
+    reduce_parser.add_argument(
+        "--oracle",
+        default="greedy-min-degree",
+        choices=sorted(available_approximators()),
+        help="MaxIS approximation oracle",
+    )
+    reduce_parser.add_argument("--lam", type=float, default=5.0, help="approximation factor assumed by the analysis")
+    reduce_parser.add_argument("--seed", type=int, default=7, help="instance seed")
+
+    lemma_parser = sub.add_parser("lemma21", help="check both directions of Lemma 2.1 on a generated instance")
+    lemma_parser.add_argument("--vertices", type=int, default=20)
+    lemma_parser.add_argument("--edges", type=int, default=10)
+    lemma_parser.add_argument("--palette", type=int, default=2)
+    lemma_parser.add_argument("--seed", type=int, default=13)
+
+    models_parser = sub.add_parser("models", help="compare MIS in the SLOCAL and LOCAL models")
+    models_parser.add_argument("--vertices", type=int, default=48)
+    models_parser.add_argument("--probability", type=float, default=0.1)
+    models_parser.add_argument("--seed", type=int, default=3)
+
+    sub.add_parser("registry", help="print the P-SLOCAL completeness registry")
+    return parser
+
+
+def _cmd_reduce(args: argparse.Namespace) -> int:
+    hypergraph, _ = colorable_almost_uniform_hypergraph(
+        n=args.vertices, m=args.edges, k=args.palette, seed=args.seed
+    )
+    oracle = get_approximator(args.oracle)
+    result = solve_conflict_free_multicoloring(
+        hypergraph, k=args.palette, approximator=oracle, lam=args.lam
+    )
+    report = verify_reduction_result(hypergraph, result)
+    print(format_records([run_summary(result)]))
+    print()
+    print(format_records(phase_summary(result)))
+    print(f"\nconflict-free: {report.conflict_free}")
+    return 0 if report.conflict_free else 1
+
+
+def _cmd_lemma21(args: argparse.Namespace) -> int:
+    hypergraph, planted = colorable_almost_uniform_hypergraph(
+        n=args.vertices, m=args.edges, k=args.palette, seed=args.seed
+    )
+    conflict_graph = ConflictGraph(hypergraph, args.palette)
+    witness = verify_lemma_21a(conflict_graph, planted)
+    independent_set = get_approximator("greedy-min-degree")(conflict_graph.graph)
+    happy = verify_lemma_21b(conflict_graph, independent_set)
+    print(
+        format_records(
+            [
+                {
+                    "m": hypergraph.num_edges(),
+                    "|V(G_k)|": conflict_graph.num_vertices(),
+                    "|E(G_k)|": conflict_graph.num_edges(),
+                    "|I_f| (lemma a)": len(witness),
+                    "|I| from oracle": len(independent_set),
+                    "happy edges (lemma b)": len(happy),
+                }
+            ]
+        )
+    )
+    return 0
+
+
+def _cmd_models(args: argparse.Namespace) -> int:
+    graph = erdos_renyi_graph(args.vertices, args.probability, seed=args.seed)
+    print(format_records([mis_model_comparison(graph, seed=args.seed)]))
+    return 0
+
+
+def _cmd_registry(_: argparse.Namespace) -> int:
+    print(format_records(summary_table()))
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Entry point used by ``python -m repro`` (and tests)."""
+    parser = _build_parser()
+    args = parser.parse_args(argv)
+    handlers = {
+        "reduce": _cmd_reduce,
+        "lemma21": _cmd_lemma21,
+        "models": _cmd_models,
+        "registry": _cmd_registry,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__.py
+    sys.exit(main())

@@ -1,0 +1,135 @@
+"""Conflict-free colorings of hypergraphs: definitions, happy edges, verification.
+
+A (single-color) conflict-free k-coloring of a hypergraph ``H = (V, E)``
+is a map ``f : V → {1, …, k}`` such that every hyperedge ``e`` contains a
+vertex whose color is unique within ``e``.  Following the paper, an edge
+with this property is called **happy**; in intermediate stages of the
+reduction only some edges are happy and uncolored vertices are denoted by
+``UNCOLORED`` (the paper's ``⊥``).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, Iterable, Optional, Set
+
+from repro.exceptions import ColoringError
+from repro.hypergraph.hypergraph import Hypergraph
+
+Vertex = Hashable
+Color = Hashable
+
+#: Sentinel standing for the paper's ``⊥`` (vertex not colored).
+UNCOLORED = None
+
+
+def color_of(coloring: Dict[Vertex, Color], vertex: Vertex) -> Color:
+    """Return the color of ``vertex`` in a partial coloring (``UNCOLORED`` if absent)."""
+    return coloring.get(vertex, UNCOLORED)
+
+
+def unique_color_vertices(
+    hypergraph: Hypergraph, coloring: Dict[Vertex, Color], edge_id
+) -> Set[Vertex]:
+    """Return the vertices of ``edge_id`` whose color appears exactly once in the edge.
+
+    Uncolored vertices (color ``UNCOLORED``) never count as uniquely colored.
+    """
+    members = hypergraph.edge(edge_id)
+    counts: Dict[Color, int] = {}
+    for v in members:
+        c = color_of(coloring, v)
+        if c is UNCOLORED:
+            continue
+        counts[c] = counts.get(c, 0) + 1
+    return {
+        v
+        for v in members
+        if color_of(coloring, v) is not UNCOLORED and counts[color_of(coloring, v)] == 1
+    }
+
+
+def is_happy(hypergraph: Hypergraph, coloring: Dict[Vertex, Color], edge_id) -> bool:
+    """Return ``True`` if hyperedge ``edge_id`` is happy under ``coloring``."""
+    return bool(unique_color_vertices(hypergraph, coloring, edge_id))
+
+
+def happy_edges(hypergraph: Hypergraph, coloring: Dict[Vertex, Color]) -> Set:
+    """Return the set of edge ids that are happy under ``coloring``."""
+    return {e for e in hypergraph.edge_ids if is_happy(hypergraph, coloring, e)}
+
+
+def unhappy_edges(hypergraph: Hypergraph, coloring: Dict[Vertex, Color]) -> Set:
+    """Return the set of edge ids that are *not* happy under ``coloring``."""
+    return set(hypergraph.edge_ids) - happy_edges(hypergraph, coloring)
+
+
+def is_conflict_free(hypergraph: Hypergraph, coloring: Dict[Vertex, Color]) -> bool:
+    """Return ``True`` if every hyperedge is happy under ``coloring``.
+
+    The coloring may be partial; only happiness matters.
+    """
+    return not unhappy_edges(hypergraph, coloring)
+
+
+def verify_conflict_free_coloring(
+    hypergraph: Hypergraph,
+    coloring: Dict[Vertex, Color],
+    k: Optional[int] = None,
+    require_total: bool = False,
+) -> None:
+    """Raise :class:`ColoringError` unless ``coloring`` is a valid conflict-free coloring.
+
+    Parameters
+    ----------
+    hypergraph:
+        The instance.
+    coloring:
+        Map from vertices to colors; vertices may be missing or mapped to
+        ``UNCOLORED`` unless ``require_total`` is set.
+    k:
+        When given, the coloring must use at most ``k`` distinct colors.
+    require_total:
+        When ``True``, every vertex of the hypergraph must receive a color.
+    """
+    foreign = set(coloring) - hypergraph.vertices
+    if foreign:
+        raise ColoringError(
+            f"coloring mentions non-vertices, e.g. {next(iter(foreign))!r}"
+        )
+    if require_total:
+        missing = {
+            v for v in hypergraph.vertices if color_of(coloring, v) is UNCOLORED
+        }
+        if missing:
+            raise ColoringError(
+                f"{len(missing)} vertices are uncolored, e.g. {next(iter(missing))!r}"
+            )
+    if k is not None:
+        used = {c for c in coloring.values() if c is not UNCOLORED}
+        if len(used) > k:
+            raise ColoringError(f"coloring uses {len(used)} colors, more than k = {k}")
+    bad = unhappy_edges(hypergraph, coloring)
+    if bad:
+        example = next(iter(bad))
+        raise ColoringError(
+            f"{len(bad)} hyperedges are not happy, e.g. edge {example!r} with members "
+            f"{sorted(hypergraph.edge(example), key=repr)!r}"
+        )
+
+
+def colors_used(coloring: Dict[Vertex, Color]) -> Set[Color]:
+    """Return the set of real colors used (``UNCOLORED`` excluded)."""
+    return {c for c in coloring.values() if c is not UNCOLORED}
+
+
+def num_colors_used(coloring: Dict[Vertex, Color]) -> int:
+    """Return the number of distinct real colors used."""
+    return len(colors_used(coloring))
+
+
+def restrict_coloring(coloring: Dict[Vertex, Color], vertices: Iterable[Vertex]) -> Dict[Vertex, Color]:
+    """Restrict a coloring to ``vertices`` (dropping ``UNCOLORED`` entries)."""
+    keep = set(vertices)
+    return {
+        v: c for v, c in coloring.items() if v in keep and c is not UNCOLORED
+    }

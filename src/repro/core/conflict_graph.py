@@ -1,0 +1,233 @@
+"""Construction of the conflict graph ``G_k`` (Section 2 of the paper).
+
+Given a hypergraph ``H = (V, E)`` and a palette size ``k``, the conflict
+graph ``G_k`` has
+
+* vertex set ``V(G_k) = {(e, v, c) : e ∈ E(H), v ∈ e, 1 ≤ c ≤ k}`` and
+* edge set ``E(G_k) = E_vertex ∪ E_edge ∪ E_color`` where
+
+  - ``E_vertex`` joins ``(e, v, c)`` and ``(g, v, d)`` for every vertex
+    ``v`` and distinct colors ``c ≠ d`` — a vertex may only commit to one
+    color;
+  - ``E_edge`` joins ``(e, v, c)`` and ``(e, u, d)`` for every edge ``e``
+    — an edge contributes at most one triple to an independent set;
+  - ``E_color`` joins ``(e, v, c)`` and ``(g, u, c)`` for *distinct*
+    vertices ``u ≠ v`` whenever ``{u, v} ⊆ e`` or ``{u, v} ⊆ g`` — the
+    chosen color must be unique within the edge that selected it.  (The
+    paper's displayed definition does not spell out ``u ≠ v``, but its
+    proof of Lemma 2.1(a) requires it; see DESIGN.md "interpretation
+    notes".)
+
+The triples are represented as :class:`ConflictVertex` named tuples; the
+graph itself is an ordinary :class:`repro.graphs.Graph`, so every
+independent-set algorithm in :mod:`repro.maxis` applies directly.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, Iterator, List, NamedTuple, Set, Tuple
+
+from repro.exceptions import ReductionError
+from repro.graphs.graph import Graph
+from repro.hypergraph.hypergraph import Hypergraph
+
+Vertex = Hashable
+EdgeId = Hashable
+Color = int
+
+
+class ConflictVertex(NamedTuple):
+    """A vertex ``(e, v, c)`` of the conflict graph.
+
+    Attributes
+    ----------
+    edge:
+        The hyperedge id ``e``.
+    vertex:
+        A vertex ``v ∈ e`` of the hypergraph.
+    color:
+        A palette color ``c ∈ {1, …, k}``.
+    """
+
+    edge: EdgeId
+    vertex: Vertex
+    color: Color
+
+
+def conflict_vertices(hypergraph: Hypergraph, k: int) -> List[ConflictVertex]:
+    """Enumerate ``V(G_k)`` in deterministic order."""
+    if k <= 0:
+        raise ReductionError(f"palette size k must be positive, got {k}")
+    result: List[ConflictVertex] = []
+    for e in hypergraph.edge_ids:
+        for v in sorted(hypergraph.edge(e), key=repr):
+            for c in range(1, k + 1):
+                result.append(ConflictVertex(edge=e, vertex=v, color=c))
+    return result
+
+
+def classify_conflict_edge(a: ConflictVertex, b: ConflictVertex, hypergraph: Hypergraph) -> Set[str]:
+    """Return the subset of ``{"vertex", "edge", "color"}`` relations that join ``a`` and ``b``.
+
+    An empty set means the two triples are *not* adjacent in ``G_k``.  The
+    three relations are not mutually exclusive (e.g. two triples of the same
+    edge and the same color lie in both ``E_edge`` and ``E_color``); the
+    conflict graph simply contains the union.
+    """
+    if a == b:
+        return set()
+    kinds: Set[str] = set()
+    if a.vertex == b.vertex and a.color != b.color:
+        kinds.add("vertex")
+    if a.edge == b.edge:
+        kinds.add("edge")
+    if a.color == b.color and a.vertex != b.vertex:
+        # The E_color relation is between triples of *distinct* hypergraph
+        # vertices: the paper's proof of Lemma 2.1(a) derives its contradiction
+        # from "u ∈ e and u ≠ v also has color c", and with u = v allowed the
+        # lemma would be false (one vertex may legitimately witness happiness
+        # of two different edges).  See DESIGN.md, "interpretation notes".
+        ea = hypergraph.edge(a.edge)
+        eb = hypergraph.edge(b.edge)
+        pair = {a.vertex, b.vertex}
+        if pair <= ea or pair <= eb:
+            kinds.add("color")
+    return kinds
+
+
+def _edge_vertex_pairs(hypergraph: Hypergraph, k: int) -> Iterator[Tuple[ConflictVertex, ConflictVertex]]:
+    """Yield each adjacent pair of conflict vertices exactly once (internal)."""
+    # E_vertex: same hypergraph vertex, different colors (edges may coincide or differ).
+    triples_by_vertex: Dict[Vertex, List[ConflictVertex]] = {}
+    # E_edge / E_color bookkeeping below reuses the full triple list per edge.
+    triples_by_edge: Dict[EdgeId, List[ConflictVertex]] = {}
+    all_triples = conflict_vertices(hypergraph, k)
+    for t in all_triples:
+        triples_by_vertex.setdefault(t.vertex, []).append(t)
+        triples_by_edge.setdefault(t.edge, []).append(t)
+
+    emitted: Set[frozenset] = set()
+
+    def emit(a: ConflictVertex, b: ConflictVertex):
+        key = frozenset((a, b))
+        if key not in emitted:
+            emitted.add(key)
+            return (a, b)
+        return None
+
+    # E_vertex
+    for triples in triples_by_vertex.values():
+        for i, a in enumerate(triples):
+            for b in triples[i + 1:]:
+                if a.color != b.color:
+                    pair = emit(a, b)
+                    if pair:
+                        yield pair
+
+    # E_edge
+    for triples in triples_by_edge.values():
+        for i, a in enumerate(triples):
+            for b in triples[i + 1:]:
+                pair = emit(a, b)
+                if pair:
+                    yield pair
+
+    # E_color: same color c, distinct vertices u ≠ v, and {u, v} contained
+    # in one of the *two edges named by the triples*.  Iterate over each
+    # triple a = (e, v, c); for every other vertex u of the same hyperedge e
+    # and every hyperedge g containing u, the triple b = (g, u, c) is an
+    # E_color neighbor of a (this covers the "{u, v} ⊆ e" branch; the
+    # "{u, v} ⊆ g" branch is produced when the roles of a and b are swapped).
+    for a in all_triples:
+        members = hypergraph.edge(a.edge)
+        for u in sorted(members, key=repr):
+            if u == a.vertex:
+                # Same-vertex pairs are excluded from E_color; see
+                # classify_conflict_edge for the rationale.
+                continue
+            for g in sorted(hypergraph.edges_containing(u), key=repr):
+                b = ConflictVertex(edge=g, vertex=u, color=a.color)
+                pair = emit(a, b)
+                if pair:
+                    yield pair
+
+
+class ConflictGraph:
+    """The conflict graph ``G_k`` of conflict-free ``k``-coloring a hypergraph.
+
+    Parameters
+    ----------
+    hypergraph:
+        The instance ``H``.
+    k:
+        The palette size.
+
+    Attributes
+    ----------
+    graph:
+        The underlying :class:`repro.graphs.Graph` whose vertices are
+        :class:`ConflictVertex` triples.
+    """
+
+    def __init__(self, hypergraph: Hypergraph, k: int) -> None:
+        if k <= 0:
+            raise ReductionError(f"palette size k must be positive, got {k}")
+        self.hypergraph = hypergraph
+        self.k = k
+        self.graph = Graph(vertices=conflict_vertices(hypergraph, k))
+        for a, b in _edge_vertex_pairs(hypergraph, k):
+            if not self.graph.has_edge(a, b):
+                self.graph.add_edge(a, b)
+
+    # ------------------------------------------------------------------
+    # size accounting (benchmark E5)
+    # ------------------------------------------------------------------
+    def num_vertices(self) -> int:
+        """Return ``|V(G_k)| = k · Σ_e |e|``."""
+        return self.graph.num_vertices()
+
+    def num_edges(self) -> int:
+        """Return ``|E(G_k)|``."""
+        return self.graph.num_edges()
+
+    def expected_num_vertices(self) -> int:
+        """The closed-form vertex count ``k · Σ_e |e|`` (cross-check for tests)."""
+        return self.k * self.hypergraph.total_edge_size()
+
+    # ------------------------------------------------------------------
+    # structure helpers used by the correspondence and by tests
+    # ------------------------------------------------------------------
+    def triples_of_edge(self, edge_id: EdgeId) -> List[ConflictVertex]:
+        """Return all triples ``(edge_id, ·, ·)``."""
+        return [
+            ConflictVertex(edge_id, v, c)
+            for v in sorted(self.hypergraph.edge(edge_id), key=repr)
+            for c in range(1, self.k + 1)
+        ]
+
+    def triples_of_vertex(self, vertex: Vertex) -> List[ConflictVertex]:
+        """Return all triples ``(·, vertex, ·)``."""
+        return [
+            ConflictVertex(e, vertex, c)
+            for e in sorted(self.hypergraph.edges_containing(vertex), key=repr)
+            for c in range(1, self.k + 1)
+        ]
+
+    def edge_kinds(self, a: ConflictVertex, b: ConflictVertex) -> Set[str]:
+        """Classify the relation(s) connecting two triples (empty if non-adjacent)."""
+        return classify_conflict_edge(a, b, self.hypergraph)
+
+    def host_assignment(self) -> Dict[ConflictVertex, Vertex]:
+        """Return the natural host map used for local simulation: ``(e, v, c) ↦ v``."""
+        return {t: t.vertex for t in self.graph.vertices}
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"ConflictGraph(k={self.k}, |V|={self.num_vertices()}, "
+            f"|E|={self.num_edges()})"
+        )
+
+
+def build_conflict_graph(hypergraph: Hypergraph, k: int) -> ConflictGraph:
+    """Convenience constructor mirroring the paper's ``G_k`` notation."""
+    return ConflictGraph(hypergraph, k)

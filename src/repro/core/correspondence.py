@@ -1,0 +1,184 @@
+"""The Lemma 2.1 correspondence between colorings of ``H`` and independent sets of ``G_k``.
+
+Direction (a): a conflict-free ``k``-coloring ``f`` of ``H`` induces an
+independent set ``I_f`` of the conflict graph with exactly one triple per
+hyperedge, hence ``|I_f| = m``; no independent set can be larger because
+the ``E_edge`` relation makes each edge's triples a clique.
+
+Direction (b): any independent set ``I`` of ``G_k`` induces a well-defined
+partial coloring ``f_I`` (``E_vertex`` forbids two colors at one vertex)
+under which at least ``|I|`` hyperedges are happy.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, Iterable, Optional, Set
+
+from repro.coloring.conflict_free import UNCOLORED, unique_color_vertices
+from repro.core.conflict_graph import ConflictGraph, ConflictVertex
+from repro.exceptions import ColoringError, IndependenceError, ReductionError
+from repro.graphs.independent_sets import verify_independent_set
+from repro.hypergraph.hypergraph import Hypergraph
+
+Vertex = Hashable
+Color = int
+
+
+def coloring_to_independent_set(
+    conflict_graph: ConflictGraph,
+    coloring: Dict[Vertex, Color],
+    require_conflict_free: bool = True,
+) -> Set[ConflictVertex]:
+    """Build the independent set ``I_f`` of Lemma 2.1(a) from a coloring ``f``.
+
+    For every hyperedge ``e`` that is happy under ``coloring`` the set
+    receives one triple ``(e, v, f(v))`` where ``v`` is a vertex whose color
+    is unique within ``e`` (ties broken deterministically by ``repr``).
+
+    Parameters
+    ----------
+    conflict_graph:
+        The conflict graph ``G_k`` of the hypergraph.
+    coloring:
+        A (partial) coloring of the hypergraph with colors in ``1..k``.
+    require_conflict_free:
+        When ``True`` (the default, matching the lemma statement) every
+        hyperedge must be happy and the resulting set has size exactly
+        ``m``; when ``False`` unhappy edges simply contribute nothing.
+
+    Raises
+    ------
+    ColoringError
+        If a used color lies outside ``1..k``, or ``require_conflict_free``
+        is set and some edge is unhappy.
+    """
+    hypergraph = conflict_graph.hypergraph
+    k = conflict_graph.k
+    for v, c in coloring.items():
+        if c is UNCOLORED:
+            continue
+        if not isinstance(c, int) or not 1 <= c <= k:
+            raise ColoringError(
+                f"vertex {v!r} has color {c!r}, outside the palette 1..{k}"
+            )
+
+    independent_set: Set[ConflictVertex] = set()
+    for e in hypergraph.edge_ids:
+        unique = unique_color_vertices(hypergraph, coloring, e)
+        if not unique:
+            if require_conflict_free:
+                raise ColoringError(
+                    f"edge {e!r} is not happy; the coloring is not conflict-free"
+                )
+            continue
+        v = min(unique, key=repr)
+        independent_set.add(ConflictVertex(edge=e, vertex=v, color=coloring[v]))
+
+    # The lemma asserts independence; verifying it here turns any bug in the
+    # construction (or in the conflict-graph definition) into a loud failure.
+    verify_independent_set(conflict_graph.graph, independent_set)
+    return independent_set
+
+
+def independent_set_to_coloring(
+    conflict_graph: ConflictGraph,
+    independent_set: Iterable[ConflictVertex],
+) -> Dict[Vertex, Color]:
+    """Build the partial coloring ``f_I`` of Lemma 2.1(b) from an independent set.
+
+    ``f_I(v) = c`` if some triple ``(·, v, c)`` belongs to the independent
+    set and ``⊥`` (absent from the returned dict) otherwise.
+
+    Raises
+    ------
+    IndependenceError
+        If the input is not an independent set of the conflict graph.
+    ReductionError
+        If the coloring would be ill-defined (two triples with the same
+        vertex but different colors) — by the ``E_vertex`` relation this can
+        only happen when the input was not independent, so this error
+        indicates an inconsistent conflict graph.
+    """
+    triples = set(independent_set)
+    for t in triples:
+        if not isinstance(t, ConflictVertex):
+            raise ReductionError(f"{t!r} is not a ConflictVertex triple")
+    verify_independent_set(conflict_graph.graph, triples)
+
+    coloring: Dict[Vertex, Color] = {}
+    for t in sorted(triples, key=repr):
+        existing = coloring.get(t.vertex)
+        if existing is not None and existing != t.color:
+            raise ReductionError(
+                f"independent set assigns two colors ({existing}, {t.color}) to "
+                f"vertex {t.vertex!r}; E_vertex should have prevented this"
+            )
+        coloring[t.vertex] = t.color
+    return coloring
+
+
+def happy_edges_of_independent_set(
+    conflict_graph: ConflictGraph,
+    independent_set: Iterable[ConflictVertex],
+) -> Set:
+    """Return the hyperedges made happy by ``f_I`` — Lemma 2.1(b) guarantees ≥ ``|I|``.
+
+    The proof of the lemma shows a stronger, constructive fact: for every
+    triple ``(e, v, c)`` in the independent set the edge ``e`` itself is
+    happy.  This function returns the happy-edge set of the induced
+    coloring, which therefore always contains ``{t.edge for t in I}``.
+    """
+    from repro.coloring.conflict_free import happy_edges as cf_happy_edges
+
+    coloring = independent_set_to_coloring(conflict_graph, independent_set)
+    return cf_happy_edges(conflict_graph.hypergraph, coloring)
+
+
+def verify_lemma_21a(
+    conflict_graph: ConflictGraph, coloring: Dict[Vertex, Color]
+) -> Set[ConflictVertex]:
+    """Check Lemma 2.1(a) on a concrete instance and return the witness ``I_f``.
+
+    Asserts that ``I_f`` is independent (checked during construction) and
+    has size exactly ``m = |E(H)|``.
+    """
+    witness = coloring_to_independent_set(conflict_graph, coloring, require_conflict_free=True)
+    m = conflict_graph.hypergraph.num_edges()
+    if len(witness) != m:
+        raise ReductionError(
+            f"Lemma 2.1(a) violated: |I_f| = {len(witness)} but m = {m}"
+        )
+    return witness
+
+
+def verify_lemma_21b(
+    conflict_graph: ConflictGraph, independent_set: Iterable[ConflictVertex]
+) -> Set:
+    """Check Lemma 2.1(b) on a concrete instance and return the happy-edge set.
+
+    Asserts that the induced coloring is well defined and that the number of
+    happy edges is at least ``|I|``.
+    """
+    triples = set(independent_set)
+    happy = happy_edges_of_independent_set(conflict_graph, triples)
+    if len(happy) < len(triples):
+        raise ReductionError(
+            f"Lemma 2.1(b) violated: |I| = {len(triples)} but only "
+            f"{len(happy)} edges are happy"
+        )
+    missing = {t.edge for t in triples} - happy
+    if missing:
+        raise ReductionError(
+            f"Lemma 2.1(b) witness property violated: edges {sorted(missing, key=repr)!r} "
+            "selected by the independent set are not happy"
+        )
+    return happy
+
+
+def maximum_independent_set_size_bound(conflict_graph: ConflictGraph) -> int:
+    """Return the upper bound ``α(G_k) ≤ m`` from the proof of Lemma 2.1(a).
+
+    The ``E_edge`` relation turns the triples of each hyperedge into a
+    clique, so an independent set contains at most one triple per edge.
+    """
+    return conflict_graph.hypergraph.num_edges()

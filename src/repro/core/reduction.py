@@ -1,0 +1,305 @@
+"""The phase-based reduction of Theorem 1.1.
+
+The reduction solves conflict-free multicoloring of a hypergraph ``H``
+using any λ-approximation algorithm for the maximum independent set
+problem:
+
+1. Set ``ρ = λ·ln(m) + 1`` and ``H_1 = H``.
+2. In phase ``i`` build the conflict graph ``G^i_k`` of ``H_i``, compute a
+   λ-approximate maximum independent set ``I_i`` of it, and let every
+   hypergraph vertex ``v`` with some ``(·, v, c) ∈ I_i`` color itself with
+   the phase-private color ``(i, c)``.
+3. Remove the edges that became happy; stop when no edge remains.
+
+If ``H`` admits a conflict-free ``k``-coloring (the premise of
+Theorem 1.2's hard instances) then Lemma 2.1(a) guarantees
+``α(G^i_k) = |E_i|`` in every phase, so the λ-approximation removes at
+least a ``1/λ`` fraction of the edges per phase and the reduction stops
+within ``ρ`` phases, using at most ``k·ρ`` colors in total.
+
+Even without that premise the reduction still terminates: the oracle is
+required to return a non-empty independent set on a non-empty conflict
+graph, each selected triple makes its edge happy (Lemma 2.1(b)), so every
+phase removes at least one edge.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Hashable, List, Optional, Set, Tuple
+
+from repro.coloring.conflict_free import happy_edges as single_happy_edges
+from repro.coloring.multicoloring import Multicoloring
+from repro.core.bounds import color_budget, expected_remaining_edges, phase_budget
+from repro.core.conflict_graph import ConflictGraph, ConflictVertex
+from repro.core.correspondence import independent_set_to_coloring
+from repro.exceptions import ReductionError
+from repro.graphs.graph import Graph
+from repro.hypergraph.hypergraph import Hypergraph
+from repro.hypergraph.operations import remove_happy_edges
+
+Vertex = Hashable
+PhaseColor = Tuple[int, int]
+Oracle = Callable[[Graph], Set[ConflictVertex]]
+
+
+@dataclass
+class PhaseRecord:
+    """Everything measured about one phase of the reduction.
+
+    Attributes
+    ----------
+    phase:
+        1-based phase index.
+    edges_before / edges_after:
+        ``|E_i|`` and ``|E_{i+1}|``.
+    independent_set_size:
+        ``|I_i|`` returned by the oracle.
+    happy_edges:
+        The hyperedges removed in this phase.
+    conflict_graph_vertices / conflict_graph_edges:
+        Size of ``G^i_k``.
+    guaranteed_edges_after:
+        The bound ``(1 - 1/λ)·|E_i|`` the analysis promises (only
+        meaningful when the premise of the analysis holds).
+    """
+
+    phase: int
+    edges_before: int
+    edges_after: int
+    independent_set_size: int
+    happy_edges: Set = field(default_factory=set)
+    conflict_graph_vertices: int = 0
+    conflict_graph_edges: int = 0
+    guaranteed_edges_after: float = 0.0
+
+    @property
+    def removed(self) -> int:
+        """Number of edges removed in this phase."""
+        return self.edges_before - self.edges_after
+
+    @property
+    def removal_fraction(self) -> float:
+        """Fraction of surviving edges removed in this phase."""
+        if self.edges_before == 0:
+            return 0.0
+        return self.removed / self.edges_before
+
+
+@dataclass
+class ReductionResult:
+    """The outcome of a full run of the reduction.
+
+    Attributes
+    ----------
+    multicoloring:
+        The conflict-free multicoloring of the input hypergraph.  Colors
+        are pairs ``(phase, palette_color)``, which realizes the paper's
+        "distinct palette of size k for each phase".
+    phases:
+        One :class:`PhaseRecord` per executed phase.
+    k:
+        The per-phase palette size.
+    lam:
+        The approximation factor assumed for the analysis.
+    phase_bound:
+        ``ρ = λ·ln(m) + 1`` computed for the original edge count.
+    color_bound:
+        ``k·ρ``.
+    """
+
+    multicoloring: Multicoloring
+    phases: List[PhaseRecord]
+    k: int
+    lam: float
+    phase_bound: int
+    color_bound: int
+
+    @property
+    def num_phases(self) -> int:
+        """Number of phases that were actually executed."""
+        return len(self.phases)
+
+    @property
+    def total_colors(self) -> int:
+        """Number of distinct colors used by the produced multicoloring."""
+        return self.multicoloring.num_colors()
+
+    def within_phase_bound(self) -> bool:
+        """Whether the run finished within the theoretical phase budget ρ."""
+        return self.num_phases <= self.phase_bound
+
+    def within_color_bound(self) -> bool:
+        """Whether the run used at most ``k·ρ`` colors."""
+        return self.total_colors <= self.color_bound
+
+    def remaining_edges_series(self) -> List[int]:
+        """Return ``[|E_1|, |E_2|, …]`` including the final (zero or residual) count."""
+        if not self.phases:
+            return []
+        series = [self.phases[0].edges_before]
+        series.extend(p.edges_after for p in self.phases)
+        return series
+
+
+def _default_oracle(approximator) -> Oracle:
+    """Wrap a :class:`repro.maxis.MaxISApproximator`-style callable into an oracle."""
+
+    def oracle(graph: Graph) -> Set[ConflictVertex]:
+        return set(approximator(graph))
+
+    return oracle
+
+
+class ConflictFreeMulticoloringViaMaxIS:
+    """The reduction of Theorem 1.1, packaged as a reusable object.
+
+    Parameters
+    ----------
+    k:
+        Per-phase palette size (the ``k`` of the conflict-free coloring the
+        hard instances admit).
+    approximator:
+        Any callable mapping a :class:`repro.graphs.Graph` to an independent
+        set of it.  :class:`repro.maxis.MaxISApproximator` instances and the
+        outputs of :func:`repro.maxis.get_approximator` work directly.
+    lam:
+        The approximation factor λ assumed when computing the phase budget
+        ``ρ``.  If the oracle actually achieves a better factor the
+        reduction simply finishes earlier.
+    max_phases:
+        Hard safety cap on the number of phases (defaults to
+        ``max(ρ, m)``, which always suffices because every phase removes at
+        least one edge).
+    strict:
+        When ``True``, exceeding the theoretical phase budget ``ρ`` raises
+        :class:`ReductionError` instead of silently continuing.  Use this
+        when the premise (the hypergraph admits a CF ``k``-coloring and the
+        oracle honours λ) is supposed to hold and a violation indicates a
+        bug.
+    """
+
+    def __init__(
+        self,
+        k: int,
+        approximator,
+        lam: float,
+        max_phases: Optional[int] = None,
+        strict: bool = False,
+    ) -> None:
+        if k <= 0:
+            raise ReductionError(f"palette size k must be positive, got {k}")
+        if lam < 1:
+            raise ReductionError(f"approximation factor must be ≥ 1, got {lam}")
+        self.k = k
+        self.lam = lam
+        self.oracle = _default_oracle(approximator)
+        self.max_phases = max_phases
+        self.strict = strict
+
+    # ------------------------------------------------------------------
+    def run(self, hypergraph: Hypergraph) -> ReductionResult:
+        """Execute the reduction on ``hypergraph`` and return a :class:`ReductionResult`."""
+        m = hypergraph.num_edges()
+        rho = phase_budget(self.lam, m)
+        budget = color_budget(self.k, self.lam, m)
+        cap = self.max_phases if self.max_phases is not None else max(rho, m, 1)
+
+        multicoloring = Multicoloring()
+        phases: List[PhaseRecord] = []
+        current = hypergraph.copy()
+
+        phase = 0
+        while current.num_edges() > 0:
+            phase += 1
+            if phase > cap:
+                raise ReductionError(
+                    f"reduction did not finish within {cap} phases; "
+                    f"{current.num_edges()} edges remain unhappy"
+                )
+            if self.strict and phase > rho:
+                raise ReductionError(
+                    f"strict mode: phase {phase} exceeds the theoretical budget ρ = {rho}"
+                )
+            record = self._run_phase(current, phase, multicoloring)
+            phases.append(record)
+            current = current.restrict_to_edges(
+                [e for e in current.edge_ids if e not in record.happy_edges]
+            )
+
+        if not phases:
+            # Edgeless input: the empty multicoloring is vacuously conflict-free.
+            phases.append(
+                PhaseRecord(
+                    phase=1,
+                    edges_before=0,
+                    edges_after=0,
+                    independent_set_size=0,
+                    happy_edges=set(),
+                    conflict_graph_vertices=0,
+                    conflict_graph_edges=0,
+                    guaranteed_edges_after=0.0,
+                )
+            )
+
+        return ReductionResult(
+            multicoloring=multicoloring,
+            phases=phases,
+            k=self.k,
+            lam=self.lam,
+            phase_bound=rho,
+            color_bound=budget,
+        )
+
+    # ------------------------------------------------------------------
+    def _run_phase(
+        self, current: Hypergraph, phase: int, multicoloring: Multicoloring
+    ) -> PhaseRecord:
+        """Run one phase on the surviving hypergraph and merge its colors."""
+        conflict_graph = ConflictGraph(current, self.k)
+        independent_set = self.oracle(conflict_graph.graph)
+        if current.num_edges() > 0 and not independent_set:
+            raise ReductionError(
+                f"the MaxIS oracle returned an empty set in phase {phase} although "
+                f"{current.num_edges()} edges remain; the reduction cannot progress"
+            )
+
+        # f_{I_i}: the phase's partial single-coloring over palette 1..k.
+        phase_coloring = independent_set_to_coloring(conflict_graph, independent_set)
+        happy = single_happy_edges(current, phase_coloring)
+        if independent_set and len(happy) < len(independent_set):
+            raise ReductionError(
+                f"phase {phase}: only {len(happy)} happy edges for an independent "
+                f"set of size {len(independent_set)}; Lemma 2.1(b) is violated"
+            )
+
+        # Commit the phase colors under the phase-private palette (i, c).
+        for v, c in phase_coloring.items():
+            multicoloring.add_color(v, (phase, c))
+
+        edges_before = current.num_edges()
+        edges_after = edges_before - len(happy)
+        return PhaseRecord(
+            phase=phase,
+            edges_before=edges_before,
+            edges_after=edges_after,
+            independent_set_size=len(independent_set),
+            happy_edges=set(happy),
+            conflict_graph_vertices=conflict_graph.num_vertices(),
+            conflict_graph_edges=conflict_graph.num_edges(),
+            guaranteed_edges_after=expected_remaining_edges(edges_before, self.lam, 1),
+        )
+
+
+def solve_conflict_free_multicoloring(
+    hypergraph: Hypergraph,
+    k: int,
+    approximator,
+    lam: float,
+    strict: bool = False,
+) -> ReductionResult:
+    """One-call convenience wrapper around :class:`ConflictFreeMulticoloringViaMaxIS`."""
+    reduction = ConflictFreeMulticoloringViaMaxIS(
+        k=k, approximator=approximator, lam=lam, strict=strict
+    )
+    return reduction.run(hypergraph)

@@ -1,0 +1,21 @@
+"""Network-decomposition substrate: clusters, ball carving, verification."""
+
+from repro.decomposition.clusters import Clustering, cluster_graph, weak_diameter
+from repro.decomposition.network_decomposition import (
+    NetworkDecomposition,
+    ball_carving_decomposition,
+    decomposition_quality,
+    polylog_decomposition,
+    verify_network_decomposition,
+)
+
+__all__ = [
+    "Clustering",
+    "cluster_graph",
+    "weak_diameter",
+    "NetworkDecomposition",
+    "ball_carving_decomposition",
+    "decomposition_quality",
+    "polylog_decomposition",
+    "verify_network_decomposition",
+]

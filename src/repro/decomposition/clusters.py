@@ -1,0 +1,85 @@
+"""Cluster data structures shared by the network-decomposition substrate."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Hashable, List, Set
+
+from repro.exceptions import ModelError
+from repro.graphs.graph import Graph
+from repro.graphs.traversal import bfs_distances
+
+Vertex = Hashable
+ClusterId = Hashable
+
+
+@dataclass
+class Clustering:
+    """A partition of the vertex set into identified clusters.
+
+    Attributes
+    ----------
+    cluster_of:
+        Mapping ``vertex -> cluster id``.
+    """
+
+    cluster_of: Dict[Vertex, ClusterId] = field(default_factory=dict)
+
+    def clusters(self) -> Dict[ClusterId, Set[Vertex]]:
+        """Group vertices by cluster id."""
+        groups: Dict[ClusterId, Set[Vertex]] = {}
+        for v, c in self.cluster_of.items():
+            groups.setdefault(c, set()).add(v)
+        return groups
+
+    def cluster_ids(self) -> List[ClusterId]:
+        """Return the cluster ids in deterministic order."""
+        return sorted({c for c in self.cluster_of.values()}, key=repr)
+
+    def num_clusters(self) -> int:
+        """Return the number of clusters."""
+        return len(set(self.cluster_of.values()))
+
+    def verify_partition(self, graph: Graph) -> None:
+        """Check that every vertex of ``graph`` belongs to exactly one cluster."""
+        missing = graph.vertices - set(self.cluster_of)
+        if missing:
+            raise ModelError(
+                f"{len(missing)} vertices unassigned, e.g. {next(iter(missing))!r}"
+            )
+        foreign = set(self.cluster_of) - graph.vertices
+        if foreign:
+            raise ModelError(
+                f"clustering mentions non-vertices, e.g. {next(iter(foreign))!r}"
+            )
+
+
+def weak_diameter(graph: Graph, cluster: Set[Vertex]) -> int:
+    """Return the weak diameter of ``cluster``: max distance *in the host graph*.
+
+    The weak diameter allows shortest paths to leave the cluster, which is
+    the notion used by the standard network-decomposition definitions.
+    Raises :class:`ModelError` if two cluster vertices are disconnected in
+    the host graph.
+    """
+    worst = 0
+    cluster_list = sorted(cluster, key=repr)
+    for v in cluster_list:
+        dist = bfs_distances(graph, v)
+        for u in cluster_list:
+            if u not in dist:
+                raise ModelError(
+                    f"cluster vertices {v!r} and {u!r} are disconnected in the host graph"
+                )
+            worst = max(worst, dist[u])
+    return worst
+
+
+def cluster_graph(graph: Graph, clustering: Clustering) -> Graph:
+    """Return the quotient graph: clusters adjacent iff some edge joins them."""
+    quotient = Graph(vertices=clustering.cluster_ids())
+    for u, v in graph.edges():
+        cu, cv = clustering.cluster_of[u], clustering.cluster_of[v]
+        if cu != cv and not quotient.has_edge(cu, cv):
+            quotient.add_edge(cu, cv)
+    return quotient

@@ -1,0 +1,48 @@
+"""Exception hierarchy for the ``repro`` library.
+
+All library-specific errors derive from :class:`ReproError` so that callers
+can catch every failure mode of the library with a single ``except`` clause
+while still being able to distinguish the individual categories.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every exception raised by the ``repro`` library."""
+
+
+class GraphError(ReproError):
+    """Raised for malformed graphs or invalid graph operations."""
+
+
+class HypergraphError(ReproError):
+    """Raised for malformed hypergraphs or invalid hypergraph operations."""
+
+
+class ColoringError(ReproError):
+    """Raised when a (conflict-free) coloring is invalid or inconsistent."""
+
+
+class IndependenceError(ReproError):
+    """Raised when a vertex set violates an independence requirement."""
+
+
+class ApproximationError(ReproError):
+    """Raised when an approximation guarantee is violated or unverifiable."""
+
+
+class ReductionError(ReproError):
+    """Raised when a local reduction cannot be carried out as specified."""
+
+
+class ModelError(ReproError):
+    """Raised by the LOCAL / SLOCAL simulators for protocol violations."""
+
+
+class LocalityViolation(ModelError):
+    """Raised when an algorithm reads state outside its permitted radius."""
+
+
+class VerificationError(ReproError):
+    """Raised when a certificate or output fails verification."""

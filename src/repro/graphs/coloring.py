@@ -1,0 +1,112 @@
+"""Proper vertex colorings of simple graphs.
+
+The paper motivates the P-SLOCAL class through the (Δ+1)-vertex-coloring
+and MIS problems; this module provides the centralized building blocks
+(verification and greedy colorings) on top of which the SLOCAL and LOCAL
+simulators implement the distributed variants.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, Iterable, Optional, Sequence, Set
+
+from repro.exceptions import ColoringError, GraphError
+from repro.graphs.graph import Graph
+
+Vertex = Hashable
+Color = int
+
+
+def verify_proper_coloring(graph: Graph, coloring: Dict[Vertex, Color]) -> None:
+    """Raise :class:`ColoringError` unless ``coloring`` is a proper total coloring.
+
+    Every vertex of the graph must be assigned a color and no edge may be
+    monochromatic.
+    """
+    missing = graph.vertices - set(coloring)
+    if missing:
+        raise ColoringError(f"{len(missing)} vertices are uncolored, e.g. {next(iter(missing))!r}")
+    foreign = set(coloring) - graph.vertices
+    if foreign:
+        raise ColoringError(f"coloring mentions non-vertices, e.g. {next(iter(foreign))!r}")
+    for u, v in graph.edges():
+        if coloring[u] == coloring[v]:
+            raise ColoringError(
+                f"edge ({u!r}, {v!r}) is monochromatic with color {coloring[u]!r}"
+            )
+
+
+def is_proper_coloring(graph: Graph, coloring: Dict[Vertex, Color]) -> bool:
+    """Boolean variant of :func:`verify_proper_coloring`."""
+    try:
+        verify_proper_coloring(graph, coloring)
+    except ColoringError:
+        return False
+    return True
+
+
+def num_colors(coloring: Dict[Vertex, Color]) -> int:
+    """Return the number of distinct colors used by ``coloring``."""
+    return len(set(coloring.values()))
+
+
+def greedy_coloring(
+    graph: Graph, order: Optional[Sequence[Vertex]] = None
+) -> Dict[Vertex, Color]:
+    """Greedy first-fit coloring along ``order`` (uses at most Δ+1 colors).
+
+    This is the SLOCAL-with-locality-1 algorithm for (Δ+1)-vertex coloring:
+    each vertex inspects the colors of its already processed neighbors and
+    picks the smallest free color.
+    """
+    if order is None:
+        order = sorted(graph.vertices, key=repr)
+    else:
+        order = list(order)
+        if set(order) != graph.vertices:
+            raise GraphError("order must be a permutation of the vertex set")
+    coloring: Dict[Vertex, Color] = {}
+    for v in order:
+        used: Set[Color] = {coloring[u] for u in graph.neighbors(v) if u in coloring}
+        color = 0
+        while color in used:
+            color += 1
+        coloring[v] = color
+    return coloring
+
+
+def color_classes(coloring: Dict[Vertex, Color]) -> Dict[Color, Set[Vertex]]:
+    """Group vertices by color."""
+    classes: Dict[Color, Set[Vertex]] = {}
+    for v, c in coloring.items():
+        classes.setdefault(c, set()).add(v)
+    return classes
+
+
+def coloring_from_classes(classes: Dict[Color, Iterable[Vertex]]) -> Dict[Vertex, Color]:
+    """Inverse of :func:`color_classes`.
+
+    Raises
+    ------
+    ColoringError
+        If a vertex appears in more than one class.
+    """
+    coloring: Dict[Vertex, Color] = {}
+    for c, vs in classes.items():
+        for v in vs:
+            if v in coloring:
+                raise ColoringError(f"vertex {v!r} appears in classes {coloring[v]!r} and {c!r}")
+            coloring[v] = c
+    return coloring
+
+
+def defective_edges(graph: Graph, coloring: Dict[Vertex, Color]) -> Set[frozenset]:
+    """Return the set of monochromatic edges under a (possibly partial) coloring.
+
+    Uncolored vertices never contribute defective edges.
+    """
+    bad: Set[frozenset] = set()
+    for u, v in graph.edges():
+        if u in coloring and v in coloring and coloring[u] == coloring[v]:
+            bad.add(frozenset((u, v)))
+    return bad

@@ -1,0 +1,292 @@
+"""A simple undirected graph implemented on adjacency sets.
+
+The library deliberately ships its own light-weight :class:`Graph` class
+instead of building everything directly on :mod:`networkx`:
+
+* the LOCAL / SLOCAL simulators need cheap, predictable neighborhood
+  queries and stable vertex identity semantics (vertices may be arbitrary
+  hashable objects such as the ``(edge, vertex, color)`` triples of the
+  conflict graph);
+* conversion helpers (:meth:`Graph.to_networkx`,
+  :meth:`Graph.from_networkx`) are provided so users can move freely
+  between the two representations.
+
+Vertices may be any hashable object.  Self-loops are rejected because none
+of the problems studied in the paper are defined on graphs with loops, and
+a silent self-loop would corrupt independent-set semantics.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, Iterable, Iterator, Set, Tuple
+
+from repro.exceptions import GraphError
+
+Vertex = Hashable
+Edge = Tuple[Vertex, Vertex]
+
+
+class Graph:
+    """An undirected simple graph backed by adjacency sets.
+
+    Parameters
+    ----------
+    vertices:
+        Optional iterable of initial vertices.
+    edges:
+        Optional iterable of 2-tuples of vertices.  Endpoints that are not
+        yet present are added automatically.
+
+    Examples
+    --------
+    >>> g = Graph(edges=[(1, 2), (2, 3)])
+    >>> sorted(g.neighbors(2))
+    [1, 3]
+    >>> g.degree(2)
+    2
+    """
+
+    def __init__(
+        self,
+        vertices: Iterable[Vertex] = (),
+        edges: Iterable[Edge] = (),
+    ) -> None:
+        self._adj: Dict[Vertex, Set[Vertex]] = {}
+        for v in vertices:
+            self.add_vertex(v)
+        for u, v in edges:
+            self.add_edge(u, v)
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    def add_vertex(self, v: Vertex) -> None:
+        """Add vertex ``v``; adding an existing vertex is a no-op."""
+        if v not in self._adj:
+            self._adj[v] = set()
+
+    def add_vertices(self, vertices: Iterable[Vertex]) -> None:
+        """Add every vertex in ``vertices``."""
+        for v in vertices:
+            self.add_vertex(v)
+
+    def add_edge(self, u: Vertex, v: Vertex) -> None:
+        """Add the undirected edge ``{u, v}``; endpoints are auto-added.
+
+        Raises
+        ------
+        GraphError
+            If ``u == v`` (self-loops are not supported).
+        """
+        if u == v:
+            raise GraphError(f"self-loops are not supported (vertex {u!r})")
+        self.add_vertex(u)
+        self.add_vertex(v)
+        self._adj[u].add(v)
+        self._adj[v].add(u)
+
+    def add_edges(self, edges: Iterable[Edge]) -> None:
+        """Add every edge in ``edges``."""
+        for u, v in edges:
+            self.add_edge(u, v)
+
+    def remove_edge(self, u: Vertex, v: Vertex) -> None:
+        """Remove the edge ``{u, v}``.
+
+        Raises
+        ------
+        GraphError
+            If the edge is not present.
+        """
+        if not self.has_edge(u, v):
+            raise GraphError(f"edge ({u!r}, {v!r}) not in graph")
+        self._adj[u].discard(v)
+        self._adj[v].discard(u)
+
+    def remove_vertex(self, v: Vertex) -> None:
+        """Remove vertex ``v`` and all incident edges.
+
+        Raises
+        ------
+        GraphError
+            If the vertex is not present.
+        """
+        if v not in self._adj:
+            raise GraphError(f"vertex {v!r} not in graph")
+        for u in self._adj[v]:
+            self._adj[u].discard(v)
+        del self._adj[v]
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    def has_vertex(self, v: Vertex) -> bool:
+        """Return ``True`` if ``v`` is a vertex of the graph."""
+        return v in self._adj
+
+    def has_edge(self, u: Vertex, v: Vertex) -> bool:
+        """Return ``True`` if the edge ``{u, v}`` is present."""
+        return u in self._adj and v in self._adj[u]
+
+    def neighbors(self, v: Vertex) -> Set[Vertex]:
+        """Return a copy of the neighbor set of ``v``.
+
+        Raises
+        ------
+        GraphError
+            If the vertex is not present.
+        """
+        if v not in self._adj:
+            raise GraphError(f"vertex {v!r} not in graph")
+        return set(self._adj[v])
+
+    def degree(self, v: Vertex) -> int:
+        """Return the degree of ``v``."""
+        if v not in self._adj:
+            raise GraphError(f"vertex {v!r} not in graph")
+        return len(self._adj[v])
+
+    def max_degree(self) -> int:
+        """Return the maximum degree Δ of the graph (0 for empty graphs)."""
+        if not self._adj:
+            return 0
+        return max(len(nbrs) for nbrs in self._adj.values())
+
+    @property
+    def vertices(self) -> Set[Vertex]:
+        """The vertex set (a copy)."""
+        return set(self._adj)
+
+    def edges(self) -> Iterator[Edge]:
+        """Iterate over each undirected edge exactly once."""
+        seen: Set[frozenset] = set()
+        for u, nbrs in self._adj.items():
+            for v in nbrs:
+                key = frozenset((u, v))
+                if key not in seen:
+                    seen.add(key)
+                    yield (u, v)
+
+    def num_vertices(self) -> int:
+        """Return ``|V|``."""
+        return len(self._adj)
+
+    def num_edges(self) -> int:
+        """Return ``|E|``."""
+        return sum(len(nbrs) for nbrs in self._adj.values()) // 2
+
+    def __len__(self) -> int:
+        return len(self._adj)
+
+    def __contains__(self, v: Vertex) -> bool:
+        return v in self._adj
+
+    def __iter__(self) -> Iterator[Vertex]:
+        return iter(self._adj)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Graph(n={self.num_vertices()}, m={self.num_edges()})"
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Graph):
+            return NotImplemented
+        return self._adj == other._adj
+
+    # ------------------------------------------------------------------
+    # derived graphs
+    # ------------------------------------------------------------------
+    def copy(self) -> "Graph":
+        """Return a deep copy of the graph."""
+        g = Graph()
+        g._adj = {v: set(nbrs) for v, nbrs in self._adj.items()}
+        return g
+
+    def subgraph(self, vertices: Iterable[Vertex]) -> "Graph":
+        """Return the subgraph induced on ``vertices``.
+
+        Vertices not present in the graph are silently ignored so that the
+        method can be used with over-approximated vertex sets (e.g. the
+        union of several neighborhoods).
+        """
+        keep = {v for v in vertices if v in self._adj}
+        g = Graph(vertices=keep)
+        for v in keep:
+            for u in self._adj[v] & keep:
+                if not g.has_edge(u, v):
+                    g.add_edge(u, v)
+        return g
+
+    def complement(self) -> "Graph":
+        """Return the complement graph on the same vertex set."""
+        verts = list(self._adj)
+        g = Graph(vertices=verts)
+        for i, u in enumerate(verts):
+            for v in verts[i + 1:]:
+                if v not in self._adj[u]:
+                    g.add_edge(u, v)
+        return g
+
+    def is_independent_set(self, vertices: Iterable[Vertex]) -> bool:
+        """Return ``True`` if ``vertices`` is an independent set.
+
+        Every vertex must be present in the graph; otherwise a
+        :class:`GraphError` is raised, because silently accepting foreign
+        vertices would make the check meaningless.
+        """
+        vs = list(vertices)
+        for v in vs:
+            if v not in self._adj:
+                raise GraphError(f"vertex {v!r} not in graph")
+        vset = set(vs)
+        for v in vset:
+            if self._adj[v] & vset:
+                return False
+        return True
+
+    def is_clique(self, vertices: Iterable[Vertex]) -> bool:
+        """Return ``True`` if ``vertices`` induces a complete subgraph."""
+        vs = [v for v in vertices]
+        for v in vs:
+            if v not in self._adj:
+                raise GraphError(f"vertex {v!r} not in graph")
+        vset = set(vs)
+        for v in vset:
+            if (vset - {v}) - self._adj[v]:
+                return False
+        return True
+
+    # ------------------------------------------------------------------
+    # interop
+    # ------------------------------------------------------------------
+    def to_networkx(self):
+        """Convert to a :class:`networkx.Graph` (vertices kept verbatim)."""
+        import networkx as nx
+
+        g = nx.Graph()
+        g.add_nodes_from(self._adj)
+        g.add_edges_from(self.edges())
+        return g
+
+    @classmethod
+    def from_networkx(cls, nx_graph) -> "Graph":
+        """Build a :class:`Graph` from a :class:`networkx.Graph`."""
+        g = cls(vertices=nx_graph.nodes())
+        for u, v in nx_graph.edges():
+            if u != v:
+                g.add_edge(u, v)
+        return g
+
+    def to_dict(self) -> Dict[str, list]:
+        """Serialize to a JSON-friendly ``{"vertices": [...], "edges": [...]}``."""
+        return {
+            "vertices": sorted(self._adj, key=repr),
+            "edges": sorted(([u, v] for u, v in self.edges()), key=repr),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, list]) -> "Graph":
+        """Inverse of :meth:`to_dict`."""
+        g = cls(vertices=data.get("vertices", ()))
+        for u, v in data.get("edges", ()):
+            g.add_edge(u, v)
+        return g

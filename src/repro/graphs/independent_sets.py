@@ -1,0 +1,199 @@
+"""Independent-set machinery on plain graphs.
+
+This module provides the *exact* maximum-independent-set solver used as
+ground truth in tests and benchmarks, verification helpers, and the basic
+greedy procedures.  The λ-approximation algorithms consumed by the paper's
+reduction live in :mod:`repro.maxis`; they build on the primitives here.
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet, Hashable, Iterable, List, Optional, Sequence, Set
+
+from repro.exceptions import GraphError, IndependenceError
+from repro.graphs.graph import Graph
+
+Vertex = Hashable
+
+
+def verify_independent_set(graph: Graph, candidate: Iterable[Vertex]) -> None:
+    """Raise :class:`IndependenceError` unless ``candidate`` is independent in ``graph``.
+
+    Both membership of every vertex and pairwise non-adjacency are checked.
+    """
+    vs = list(candidate)
+    for v in vs:
+        if v not in graph:
+            raise IndependenceError(f"vertex {v!r} is not a vertex of the graph")
+    vset = set(vs)
+    if len(vset) != len(vs):
+        raise IndependenceError("candidate contains duplicate vertices")
+    for v in vset:
+        conflict = graph.neighbors(v) & vset
+        if conflict:
+            raise IndependenceError(
+                f"vertices {v!r} and {next(iter(conflict))!r} are adjacent"
+            )
+
+
+def is_maximal_independent_set(graph: Graph, candidate: Iterable[Vertex]) -> bool:
+    """Return ``True`` iff ``candidate`` is an *inclusion-maximal* independent set."""
+    vset = set(candidate)
+    verify_independent_set(graph, vset)
+    for v in graph.vertices:
+        if v not in vset and not (graph.neighbors(v) & vset):
+            return False
+    return True
+
+
+def greedy_maximal_independent_set(
+    graph: Graph, order: Optional[Sequence[Vertex]] = None
+) -> Set[Vertex]:
+    """Compute a maximal independent set greedily along ``order``.
+
+    This is exactly the SLOCAL algorithm with locality 1 described in the
+    paper's introduction: process nodes in an arbitrary order and join the
+    independent set if no already-processed neighbor has joined.
+
+    Parameters
+    ----------
+    graph:
+        The input graph.
+    order:
+        Processing order; defaults to a deterministic sorted order by
+        ``repr`` so that the result is reproducible.
+    """
+    if order is None:
+        order = sorted(graph.vertices, key=repr)
+    else:
+        order = list(order)
+        if set(order) != graph.vertices:
+            raise GraphError("order must be a permutation of the vertex set")
+    selected: Set[Vertex] = set()
+    for v in order:
+        if not (graph.neighbors(v) & selected):
+            selected.add(v)
+    return selected
+
+
+def greedy_min_degree_independent_set(graph: Graph) -> Set[Vertex]:
+    """Greedy independent set repeatedly taking a minimum-degree vertex.
+
+    This classical heuristic achieves the Turán-type guarantee
+    ``|I| ≥ n / (Δ + 1)`` and tends to perform much better in practice.
+    """
+    work = graph.copy()
+    selected: Set[Vertex] = set()
+    while work.num_vertices() > 0:
+        v = min(work.vertices, key=lambda u: (work.degree(u), repr(u)))
+        selected.add(v)
+        to_remove = work.neighbors(v) | {v}
+        for u in to_remove:
+            work.remove_vertex(u)
+    verify_independent_set(graph, selected)
+    return selected
+
+
+def maximum_independent_set(graph: Graph) -> Set[Vertex]:
+    """Return a maximum independent set, computed exactly.
+
+    The solver is a branch-and-bound over the standard recurrence
+    ``α(G) = max(α(G − N[v] ) + 1, α(G − v))`` branching on a maximum-degree
+    vertex, with memoization on the remaining vertex set and a greedy lower
+    bound for pruning.  Exponential in the worst case — intended for the
+    ground-truth comparisons on small and medium instances used by the
+    test-suite and the benchmark harness.
+    """
+    order = sorted(graph.vertices, key=repr)
+    index = {v: i for i, v in enumerate(order)}
+    memo: dict = {}
+
+    def solve(active: FrozenSet[Vertex]) -> FrozenSet[Vertex]:
+        if not active:
+            return frozenset()
+        if active in memo:
+            return memo[active]
+        # Vertices of degree 0 or 1 (within the active set) can be taken
+        # greedily without losing optimality.
+        for v in active:
+            deg = len(graph.neighbors(v) & active)
+            if deg == 0:
+                rest = solve(active - {v})
+                result = rest | {v}
+                memo[active] = result
+                return result
+            if deg == 1:
+                rest = solve(active - ({v} | graph.neighbors(v)))
+                result = rest | {v}
+                memo[active] = result
+                return result
+        # Branch on a maximum-degree vertex.
+        v = max(active, key=lambda u: (len(graph.neighbors(u) & active), -index[u]))
+        with_v = solve(active - ({v} | graph.neighbors(v))) | {v}
+        without_v = solve(active - {v})
+        result = with_v if len(with_v) >= len(without_v) else without_v
+        memo[active] = result
+        return result
+
+    best = set(solve(frozenset(graph.vertices)))
+    verify_independent_set(graph, best)
+    return best
+
+
+def independence_number(graph: Graph) -> int:
+    """Return ``α(G)``, the size of a maximum independent set."""
+    return len(maximum_independent_set(graph))
+
+
+def approximation_ratio(graph: Graph, candidate: Iterable[Vertex]) -> float:
+    """Return ``α(G) / |candidate|`` (the λ for which ``candidate`` is a λ-approx).
+
+    Raises
+    ------
+    IndependenceError
+        If ``candidate`` is not an independent set, or is empty while
+        ``α(G) > 0`` (in which case no finite ratio exists).
+    """
+    vset = set(candidate)
+    verify_independent_set(graph, vset)
+    alpha = independence_number(graph)
+    if alpha == 0:
+        return 1.0
+    if not vset:
+        raise IndependenceError("empty candidate cannot approximate a non-empty optimum")
+    return alpha / len(vset)
+
+
+def all_maximal_independent_sets(graph: Graph, limit: Optional[int] = None) -> List[Set[Vertex]]:
+    """Enumerate maximal independent sets (Bron–Kerbosch on the complement).
+
+    Parameters
+    ----------
+    graph:
+        Input graph.
+    limit:
+        Optional cap on the number of sets returned; enumeration stops once
+        the cap is reached.  Useful to keep tests bounded on dense graphs.
+    """
+    comp = graph.complement()
+    results: List[Set[Vertex]] = []
+
+    def bron_kerbosch(r: Set[Vertex], p: Set[Vertex], x: Set[Vertex]) -> bool:
+        """Return False to signal that the limit has been reached."""
+        if limit is not None and len(results) >= limit:
+            return False
+        if not p and not x:
+            results.append(set(r))
+            return True
+        pivot_pool = p | x
+        pivot = max(pivot_pool, key=lambda u: len(comp.neighbors(u) & p))
+        for v in list(p - comp.neighbors(pivot)):
+            if not bron_kerbosch(r | {v}, p & comp.neighbors(v), x & comp.neighbors(v)):
+                return False
+            p = p - {v}
+            x = x | {v}
+        return True
+
+    if graph.num_vertices() > 0:
+        bron_kerbosch(set(), graph.vertices, set())
+    return results

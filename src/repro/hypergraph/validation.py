@@ -1,0 +1,82 @@
+"""Validation predicates on hypergraphs (uniformity, almost-uniformity, sanity)."""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+from repro.exceptions import HypergraphError
+from repro.hypergraph.hypergraph import Hypergraph
+
+
+def is_uniform(hypergraph: Hypergraph) -> bool:
+    """Return ``True`` if every hyperedge has the same size (edgeless counts as uniform)."""
+    sizes = {hypergraph.edge_size(e) for e in hypergraph.edge_ids}
+    return len(sizes) <= 1
+
+
+def is_almost_uniform(hypergraph: Hypergraph, epsilon: float) -> bool:
+    """Return ``True`` if there is a ``k`` with ``k ≤ |e| ≤ (1+ε)k`` for all edges.
+
+    This is exactly the paper's definition of an almost-uniform hypergraph:
+    taking ``k`` to be the minimum edge size, the condition holds iff the
+    maximum edge size is at most ``(1+ε)·k``.  Edgeless hypergraphs are
+    vacuously almost-uniform.
+    """
+    if not 0 < epsilon <= 1:
+        raise HypergraphError(f"epsilon must lie in (0, 1], got {epsilon}")
+    if hypergraph.num_edges() == 0:
+        return True
+    k = hypergraph.min_edge_size()
+    return hypergraph.rank() <= (1 + epsilon) * k
+
+
+def almost_uniformity_parameters(hypergraph: Hypergraph) -> Optional[Tuple[int, float]]:
+    """Return ``(k, ε)`` witnessing almost-uniformity with the smallest possible ε.
+
+    ``k`` is the minimum edge size and ``ε = rank/k - 1``.  Returns ``None``
+    for edgeless hypergraphs, and raises if the best ε exceeds 1 (in which
+    case the hypergraph is not almost-uniform for any admissible ε).
+    """
+    if hypergraph.num_edges() == 0:
+        return None
+    k = hypergraph.min_edge_size()
+    epsilon = hypergraph.rank() / k - 1
+    if epsilon > 1:
+        raise HypergraphError(
+            f"hypergraph is not almost-uniform: rank {hypergraph.rank()} "
+            f"> 2 * min edge size {k}"
+        )
+    return k, epsilon
+
+
+def validate_hypergraph(hypergraph: Hypergraph) -> None:
+    """Check internal consistency of a hypergraph; raise :class:`HypergraphError` otherwise.
+
+    Verifies that every edge member is a declared vertex, that no edge is
+    empty, and that the incidence index agrees with the edge family.
+    """
+    vertices = hypergraph.vertices
+    for e, members in hypergraph.edges():
+        if not members:
+            raise HypergraphError(f"edge {e!r} is empty")
+        stray = members - vertices
+        if stray:
+            raise HypergraphError(
+                f"edge {e!r} contains undeclared vertices {sorted(stray, key=repr)!r}"
+            )
+    for v in vertices:
+        for e in hypergraph.edges_containing(v):
+            if v not in hypergraph.edge(e):
+                raise HypergraphError(
+                    f"incidence index claims {v!r} ∈ edge {e!r}, but the edge disagrees"
+                )
+
+
+def has_polynomially_many_edges(hypergraph: Hypergraph, degree: int = 3) -> bool:
+    """Return ``True`` if ``m ≤ n^degree`` (the "poly n hyperedges" premise of Thm 1.2).
+
+    ``degree`` defaults to 3, which is ample for all workloads shipped with
+    the benchmark harness; callers studying denser families can raise it.
+    """
+    n = max(hypergraph.num_vertices(), 2)
+    return hypergraph.num_edges() <= n ** degree

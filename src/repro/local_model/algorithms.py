@@ -1,0 +1,184 @@
+"""Distributed algorithms in the LOCAL model.
+
+* :class:`LubyMIS` — Luby's classical randomized maximal-independent-set
+  algorithm [Lub86], which terminates in O(log n) rounds with high
+  probability; the paper's introduction contrasts it with the
+  exponentially slower deterministic algorithms.
+* :class:`RandomizedColoring` — a simple randomized (Δ+1)-vertex-coloring:
+  every uncolored node proposes a random available color and keeps it if
+  no conflicting neighbor proposed the same color.
+* :func:`luby_mis`, :func:`randomized_coloring` — convenience wrappers.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Any, Dict, Hashable, Optional, Set, Tuple
+
+from repro.exceptions import ModelError
+from repro.graphs.graph import Graph
+from repro.local_model.message import Inbox
+from repro.local_model.network import LocalNetwork, LocalRunResult
+from repro.local_model.node import LocalNode, LocalNodeAlgorithm
+
+Vertex = Hashable
+
+
+class LubyMIS(LocalNodeAlgorithm):
+    """Luby's randomized MIS algorithm.
+
+    Each iteration of the classical algorithm is implemented with two
+    communication rounds:
+
+    * **proposal round** — every undecided node draws a random priority and
+      sends it to its undecided neighbors;
+    * **resolution round** — a node whose priority was a strict local
+      minimum (ties broken by the vertex identifier) joins the MIS and
+      announces this; neighbors of joining nodes leave the computation.
+
+    Output per node: ``True`` if the node is in the MIS, ``False`` otherwise.
+    """
+
+    name = "luby-mis"
+
+    def init(self, node: LocalNode) -> Dict[Vertex, Any]:
+        node.memory["rng"] = random.Random(node.random_seed)
+        node.memory["undecided_neighbors"] = set(node.neighbors)
+        node.memory["phase"] = "propose"
+        if not node.neighbors:
+            # Isolated nodes join immediately.
+            node.terminate(True)
+            return {}
+        return {}
+
+    def _propose(self, node: LocalNode) -> Dict[Vertex, Any]:
+        priority = node.memory["rng"].random()
+        node.memory["priority"] = priority
+        node.memory["phase"] = "resolve"
+        return {
+            u: ("priority", priority, repr(node.vertex))
+            for u in node.memory["undecided_neighbors"]
+        }
+
+    def _resolve(self, node: LocalNode, inbox: Inbox) -> Dict[Vertex, Any]:
+        my_key = (node.memory["priority"], repr(node.vertex))
+        wins = True
+        for u in node.memory["undecided_neighbors"]:
+            msg = inbox.from_neighbor(u)
+            if msg is None:
+                continue
+            _, priority, ident = msg
+            if (priority, ident) < my_key:
+                wins = False
+                break
+        node.memory["phase"] = "propose"
+        if wins:
+            outgoing = {u: ("joined",) for u in node.memory["undecided_neighbors"]}
+            node.terminate(True)
+            return outgoing
+        return {u: ("still-here",) for u in node.memory["undecided_neighbors"]}
+
+    def round(self, node: LocalNode, round_number: int, inbox: Inbox) -> Dict[Vertex, Any]:
+        # First handle notifications from neighbors that joined or left.
+        decided_neighbors = set()
+        for u in list(node.memory["undecided_neighbors"]):
+            msg = inbox.from_neighbor(u)
+            if msg is not None and msg[0] == "joined":
+                node.terminate(False)
+                return {}
+            if msg is None and node.memory["phase"] == "propose" and round_number > 1:
+                # A neighbor that stays silent in a proposal round has terminated
+                # without joining (it was eliminated); drop it.
+                decided_neighbors.add(u)
+        node.memory["undecided_neighbors"] -= decided_neighbors
+
+        if node.memory["phase"] == "propose":
+            if not node.memory["undecided_neighbors"]:
+                node.terminate(True)
+                return {}
+            return self._propose(node)
+        return self._resolve(node, inbox)
+
+
+class RandomizedColoring(LocalNodeAlgorithm):
+    """Randomized (Δ+1)-vertex-coloring by repeated random proposals.
+
+    Every phase uses two rounds: uncolored nodes propose a uniformly random
+    color from their current palette (``{0, …, deg}`` minus colors taken by
+    already-colored neighbors) and keep it if no uncolored neighbor proposed
+    the same color; kept colors are then announced.
+
+    Output per node: the final color (an ``int``).
+    """
+
+    name = "randomized-coloring"
+
+    def init(self, node: LocalNode) -> Dict[Vertex, Any]:
+        node.memory["rng"] = random.Random(node.random_seed)
+        node.memory["taken"] = set()
+        node.memory["active_neighbors"] = set(node.neighbors)
+        node.memory["phase"] = "propose"
+        if not node.neighbors:
+            node.terminate(0)
+            return {}
+        return {}
+
+    def _palette(self, node: LocalNode) -> list:
+        size = len(node.neighbors) + 1
+        return [c for c in range(size) if c not in node.memory["taken"]]
+
+    def round(self, node: LocalNode, round_number: int, inbox: Inbox) -> Dict[Vertex, Any]:
+        # Record colors fixed by neighbors in the previous round.
+        for u in list(node.memory["active_neighbors"]):
+            msg = inbox.from_neighbor(u)
+            if msg is not None and msg[0] == "final":
+                node.memory["taken"].add(msg[1])
+                node.memory["active_neighbors"].discard(u)
+
+        if node.memory["phase"] == "propose":
+            palette = self._palette(node)
+            if not palette:
+                raise ModelError(
+                    f"palette of node {node.vertex!r} is empty; "
+                    "this contradicts the (deg+1) palette invariant"
+                )
+            proposal = node.memory["rng"].choice(palette)
+            node.memory["proposal"] = proposal
+            node.memory["phase"] = "decide"
+            return {u: ("proposal", proposal) for u in node.memory["active_neighbors"]}
+
+        # Decide phase: keep the proposal if no active neighbor proposed it too.
+        proposal = node.memory["proposal"]
+        conflict = False
+        for u in node.memory["active_neighbors"]:
+            msg = inbox.from_neighbor(u)
+            if msg is not None and msg[0] == "proposal" and msg[1] == proposal:
+                conflict = True
+                break
+        node.memory["phase"] = "propose"
+        if not conflict and proposal not in node.memory["taken"]:
+            outgoing = {u: ("final", proposal) for u in node.memory["active_neighbors"]}
+            node.terminate(proposal)
+            return outgoing
+        return {}
+
+
+# ----------------------------------------------------------------------
+# Convenience wrappers
+# ----------------------------------------------------------------------
+def luby_mis(
+    graph: Graph, seed: Optional[int] = None, max_rounds: int = 10_000
+) -> Tuple[Set[Vertex], LocalRunResult]:
+    """Run :class:`LubyMIS` on ``graph`` and return ``(mis, run_result)``."""
+    result = LocalNetwork(graph, seed=seed).run(LubyMIS(), max_rounds=max_rounds)
+    mis = {v for v, out in result.outputs.items() if out is True}
+    return mis, result
+
+
+def randomized_coloring(
+    graph: Graph, seed: Optional[int] = None, max_rounds: int = 10_000
+) -> Tuple[Dict[Vertex, int], LocalRunResult]:
+    """Run :class:`RandomizedColoring` and return ``(coloring, run_result)``."""
+    result = LocalNetwork(graph, seed=seed).run(RandomizedColoring(), max_rounds=max_rounds)
+    coloring = {v: out for v, out in result.outputs.items() if out is not None}
+    return coloring, result

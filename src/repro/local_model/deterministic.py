@@ -1,0 +1,199 @@
+"""Deterministic algorithms in the LOCAL model.
+
+The paper's introduction contrasts the fast randomized LOCAL algorithms
+for MIS and (Δ+1)-coloring [Lub86] with the much slower deterministic ones
+[AGLP89]; the question of fast deterministic LOCAL algorithms is exactly
+what the P-SLOCAL completeness programme is about.  This module makes that
+contrast executable with two classical deterministic procedures:
+
+* :class:`ColeVishkinRingColoring` — the O(log* n) Cole–Vishkin colour
+  reduction on canonically labelled rings: starting from the unique
+  identifiers, each round replaces a node's colour by (index of the first
+  bit where it differs from its successor's colour, value of that bit),
+  shrinking the colour space from ``b`` bits to ``O(log b)`` bits, down to
+  six colours; three clean-up rounds then reach a proper 3-coloring.
+* :class:`ColorReductionColoring` — the slow-but-general deterministic
+  (Δ+1)-colouring: starting from the unique-identifier colouring, colour
+  classes are eliminated one per round from the top (each class is an
+  independent set, so its nodes can recolour simultaneously).  Its round
+  complexity is linear in the identifier space — the "much slower than
+  randomized" behaviour the introduction refers to.
+
+Both run on the same :class:`~repro.local_model.network.LocalNetwork`
+simulator as Luby's algorithm, so their round counts can be reported side
+by side with the randomized baselines.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Hashable, Optional, Tuple
+
+from repro.exceptions import ModelError
+from repro.graphs.graph import Graph
+from repro.local_model.message import Inbox
+from repro.local_model.network import LocalNetwork, LocalRunResult
+from repro.local_model.node import LocalNode, LocalNodeAlgorithm
+
+Vertex = Hashable
+
+
+def cole_vishkin_rounds_needed(n: int) -> int:
+    """Number of Cole–Vishkin reduction rounds to go from ``n`` ids to < 6 colours.
+
+    One round maps a palette of size ``c`` (colours are ``b``-bit numbers,
+    ``b = ⌈log₂ c⌉``) to one of size ``2b``; the function iterates that map —
+    its value grows like ``log* n``.
+    """
+    if n < 0:
+        raise ModelError(f"n must be non-negative, got {n}")
+    palette = max(n, 1)
+    rounds = 0
+    while palette > 6:
+        bits = max((palette - 1).bit_length(), 1)
+        palette = 2 * bits
+        rounds += 1
+    return rounds
+
+
+class ColeVishkinRingColoring(LocalNodeAlgorithm):
+    """Cole–Vishkin 3-coloring of a canonically labelled ring.
+
+    Requirements: the network graph is a cycle whose vertices carry the
+    integer identifiers ``0 … n−1`` *in ring order* (as produced by
+    :func:`repro.graphs.generators.cycle_graph`), so that every node can
+    identify its successor ``(id + 1) mod n`` among its two neighbors.
+    All nodes run the same, locally computable number of reduction rounds
+    (``cole_vishkin_rounds_needed(n)``), which keeps the synchronous
+    invariant "adjacent colours differ" intact, and then three clean-up
+    rounds eliminate colours 5, 4 and 3.
+
+    Output per node: a colour in ``{0, 1, 2}``.
+    """
+
+    name = "cole-vishkin-ring"
+
+    @staticmethod
+    def _reduce(own: int, successor: int) -> int:
+        """One Cole–Vishkin step: encode the lowest differing bit index and its value."""
+        differing = own ^ successor
+        index = (differing & -differing).bit_length() - 1 if differing else 0
+        bit = (own >> index) & 1
+        return 2 * index + bit
+
+    def init(self, node: LocalNode) -> Dict[Vertex, Any]:
+        if len(node.neighbors) != 2:
+            raise ModelError(
+                f"Cole–Vishkin ring coloring requires a cycle; vertex {node.vertex!r} "
+                f"has degree {len(node.neighbors)}"
+            )
+        if not isinstance(node.vertex, int):
+            raise ModelError("ring vertices must be the integers 0..n-1 in ring order")
+        n = node.n_known
+        successor_id = (node.vertex + 1) % n
+        if successor_id not in node.neighbors:
+            raise ModelError(
+                f"vertex {node.vertex!r} is not adjacent to {successor_id!r}; "
+                "the ring must be canonically labelled"
+            )
+        node.memory["color"] = node.vertex
+        node.memory["successor"] = successor_id
+        node.memory["reduce_rounds"] = cole_vishkin_rounds_needed(n)
+        return {u: ("color", node.memory["color"]) for u in node.neighbors}
+
+    def round(self, node: LocalNode, round_number: int, inbox: Inbox) -> Dict[Vertex, Any]:
+        # Track the latest colour of both neighbors (needed by the clean-up).
+        seen = node.memory.setdefault("neighbor_colors", {})
+        for u in node.neighbors:
+            msg = inbox.from_neighbor(u)
+            if msg is not None:
+                seen[u] = msg[1]
+
+        reduce_rounds = node.memory["reduce_rounds"]
+        if round_number <= reduce_rounds:
+            successor_color = seen[node.memory["successor"]]
+            node.memory["color"] = self._reduce(node.memory["color"], successor_color)
+            return {u: ("color", node.memory["color"]) for u in node.neighbors}
+
+        # Clean-up rounds: remove colour 5, then 4, then 3.
+        removing = 5 - (round_number - reduce_rounds - 1)
+        if node.memory["color"] == removing:
+            free = min(c for c in (0, 1, 2) if c not in set(seen.values()))
+            node.memory["color"] = free
+        if removing <= 3:
+            node.terminate(node.memory["color"])
+        return {u: ("color", node.memory["color"]) for u in node.neighbors}
+
+
+def cole_vishkin_ring(graph: Graph, max_rounds: int = 10_000) -> Tuple[Dict[Vertex, int], LocalRunResult]:
+    """Run Cole–Vishkin on a canonically labelled ring; return ``(coloring, run_result)``."""
+    result = LocalNetwork(graph).run(ColeVishkinRingColoring(), max_rounds=max_rounds)
+    coloring = {v: out for v, out in result.outputs.items() if out is not None}
+    return coloring, result
+
+
+class ColorReductionColoring(LocalNodeAlgorithm):
+    """Deterministic (deg+1)-coloring by one-colour-class-per-round reduction.
+
+    Round ``r`` eliminates colour ``id_space − r``: every node currently
+    holding that colour (always an independent set, because the colouring
+    stays proper throughout) recolours itself with the smallest colour in
+    ``{0, …, deg}`` not used by any neighbor.  A node terminates once the
+    colour being eliminated drops to its own palette size.  The round count
+    is linear in the identifier space — deliberately so; this is the slow
+    deterministic baseline.
+    """
+
+    name = "deterministic-color-reduction"
+
+    def __init__(self, id_space: int) -> None:
+        if id_space <= 0:
+            raise ModelError("identifier space must be positive")
+        self.id_space = id_space
+
+    def init(self, node: LocalNode) -> Dict[Vertex, Any]:
+        if "id" not in node.memory:
+            if not isinstance(node.vertex, int):
+                raise ModelError("non-integer vertex names require the color_reduction() wrapper")
+            node.memory["id"] = node.vertex
+        node.memory["color"] = node.memory["id"]
+        node.memory["last_seen"] = {}
+        return {u: ("color", node.memory["color"]) for u in node.neighbors}
+
+    def round(self, node: LocalNode, round_number: int, inbox: Inbox) -> Dict[Vertex, Any]:
+        last_seen = node.memory["last_seen"]
+        for u in node.neighbors:
+            msg = inbox.from_neighbor(u)
+            if msg is not None:
+                last_seen[u] = msg[1]
+
+        removing = self.id_space - round_number
+        palette_limit = len(node.neighbors) + 1
+        if node.memory["color"] == removing and removing >= palette_limit:
+            node.memory["color"] = min(
+                c for c in range(palette_limit) if c not in set(last_seen.values())
+            )
+
+        if removing <= palette_limit:
+            node.terminate(node.memory["color"])
+        return {u: ("color", node.memory["color"]) for u in node.neighbors}
+
+
+def color_reduction(graph: Graph, max_rounds: Optional[int] = None) -> Tuple[Dict[Vertex, int], LocalRunResult]:
+    """Run the deterministic colour reduction and return ``(coloring, run_result)``.
+
+    Vertices are assigned the identifiers ``0 … n−1`` by their deterministic
+    ``repr`` rank, so the wrapper works for arbitrary hashable vertex names.
+    """
+    n = graph.num_vertices()
+    ranks = {v: i for i, v in enumerate(sorted(graph.vertices, key=repr))}
+
+    class _Seeded(ColorReductionColoring):
+        def init(self, node: LocalNode) -> Dict[Vertex, Any]:
+            node.memory["id"] = ranks[node.vertex]
+            return super().init(node)
+
+    algorithm = _Seeded(id_space=max(n, 1))
+    rounds_cap = max_rounds if max_rounds is not None else max(4 * n, 16)
+    result = LocalNetwork(graph).run(algorithm, max_rounds=rounds_cap)
+    coloring = {v: out for v, out in result.outputs.items() if out is not None}
+    return coloring, result

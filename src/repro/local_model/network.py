@@ -1,0 +1,127 @@
+"""The synchronous LOCAL network simulator.
+
+:class:`LocalNetwork` drives a :class:`~repro.local_model.node.LocalNodeAlgorithm`
+over a network graph in synchronous rounds until every node has terminated
+(or a round limit is hit).  The simulator reports the number of rounds,
+which is the complexity measure of the LOCAL model.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Any, Dict, Hashable, List, Optional
+
+from repro.exceptions import ModelError
+from repro.graphs.graph import Graph
+from repro.local_model.message import Inbox, Message
+from repro.local_model.node import LocalNode, LocalNodeAlgorithm
+
+Vertex = Hashable
+
+
+@dataclass
+class LocalRunResult:
+    """Result of one LOCAL execution.
+
+    Attributes
+    ----------
+    outputs:
+        Mapping from every vertex to its output.
+    rounds:
+        The number of communication rounds executed (the model's
+        complexity measure).  Round 0 (initialization, no communication)
+        is not counted.
+    messages_sent:
+        Total number of messages delivered over the whole execution.
+    terminated:
+        Whether every node terminated before the round limit.
+    """
+
+    outputs: Dict[Vertex, Any]
+    rounds: int
+    messages_sent: int
+    terminated: bool
+    per_round_active: List[int] = field(default_factory=list)
+
+
+class LocalNetwork:
+    """Synchronous message-passing simulator for the LOCAL model."""
+
+    def __init__(self, graph: Graph, seed: Optional[int] = None) -> None:
+        self.graph = graph
+        self.seed = seed if seed is not None else 0
+
+    def run(self, algorithm: LocalNodeAlgorithm, max_rounds: int = 10_000) -> LocalRunResult:
+        """Run ``algorithm`` until every node terminates or ``max_rounds`` is reached.
+
+        Raises
+        ------
+        ModelError
+            If ``max_rounds`` is not positive.
+        """
+        if max_rounds <= 0:
+            raise ModelError(f"max_rounds must be positive, got {max_rounds}")
+
+        n = self.graph.num_vertices()
+        master = random.Random(self.seed)
+        nodes: Dict[Vertex, LocalNode] = {}
+        for v in sorted(self.graph.vertices, key=repr):
+            nodes[v] = LocalNode(
+                vertex=v,
+                neighbors=self.graph.neighbors(v),
+                n_known=n,
+                random_seed=master.randrange(2**63),
+            )
+
+        # Round 0: initialization (counts as no communication round).
+        pending: List[Message] = []
+        for v, node in nodes.items():
+            outgoing = algorithm.validate_outgoing(node, algorithm.init(node))
+            for receiver, payload in outgoing.items():
+                pending.append(Message(sender=v, receiver=receiver, round_sent=0, payload=payload))
+
+        messages_sent = 0
+        per_round_active: List[int] = []
+        rounds = 0
+        while rounds < max_rounds:
+            active = [v for v, node in nodes.items() if not node.terminated]
+            if not active and not pending:
+                break
+            rounds += 1
+            per_round_active.append(len(active))
+
+            # Deliver messages sent in the previous round.
+            inboxes: Dict[Vertex, Dict[Vertex, Message]] = {v: {} for v in nodes}
+            for msg in pending:
+                inboxes[msg.receiver][msg.sender] = msg
+            messages_sent += len(pending)
+            pending = []
+
+            all_terminated = True
+            for v in sorted(nodes, key=repr):
+                node = nodes[v]
+                if node.terminated:
+                    continue
+                inbox = Inbox(messages=inboxes[v])
+                outgoing = algorithm.validate_outgoing(
+                    node, algorithm.round(node, rounds, inbox)
+                )
+                if not node.terminated:
+                    all_terminated = False
+                for receiver, payload in outgoing.items():
+                    pending.append(
+                        Message(sender=v, receiver=receiver, round_sent=rounds, payload=payload)
+                    )
+            if all_terminated:
+                break
+
+        terminated = all(node.terminated for node in nodes.values())
+        outputs = {v: node.output for v, node in nodes.items()}
+        return LocalRunResult(
+            outputs=outputs,
+            rounds=rounds,
+            messages_sent=messages_sent,
+            terminated=terminated,
+            per_round_active=per_round_active,
+        )

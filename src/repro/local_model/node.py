@@ -1,0 +1,98 @@
+"""Node-side API of the LOCAL model simulator.
+
+A distributed algorithm in the LOCAL model is written as a subclass of
+:class:`LocalNodeAlgorithm`.  The network (see
+:mod:`repro.local_model.network`) instantiates one :class:`LocalNode` per
+vertex and drives the synchronous rounds:
+
+1. at the start of a round every node receives the messages sent to it in
+   the previous round;
+2. every node updates its state and chooses one message per neighbor to
+   send (or no message);
+3. a node may *terminate* by fixing an output; terminated nodes stop
+   participating.
+
+Nodes only know their own identifier, their degree / the identifiers of
+their neighbors (ports), and whatever arrives in messages — exactly the
+information available in the LOCAL model.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Hashable, Optional, Set
+
+from repro.exceptions import ModelError
+from repro.local_model.message import Inbox
+
+Vertex = Hashable
+
+
+class LocalNode:
+    """Runtime container for one vertex participating in a LOCAL execution."""
+
+    def __init__(self, vertex: Vertex, neighbors: Set[Vertex], n_known: int, random_seed: int) -> None:
+        self.vertex = vertex
+        self.neighbors = set(neighbors)
+        #: The number of nodes n, which LOCAL algorithms may know globally.
+        self.n_known = n_known
+        #: Per-node deterministic seed so randomized algorithms are reproducible.
+        self.random_seed = random_seed
+        #: Free-form algorithm state.
+        self.memory: Dict[str, Any] = {}
+        self.output: Any = None
+        self.terminated = False
+
+    def terminate(self, output: Any) -> None:
+        """Fix the node's output and stop participating in future rounds."""
+        if self.terminated:
+            raise ModelError(f"node {self.vertex!r} terminated twice")
+        self.output = output
+        self.terminated = True
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        status = f"output={self.output!r}" if self.terminated else "running"
+        return f"LocalNode({self.vertex!r}, deg={len(self.neighbors)}, {status})"
+
+
+class LocalNodeAlgorithm:
+    """Base class for algorithms in the LOCAL model.
+
+    Subclasses override :meth:`init` and :meth:`round`.  Both methods
+    return the messages to send as a mapping ``neighbor -> payload``
+    (omitted neighbors receive nothing).  A node finishes by calling
+    ``node.terminate(output)``.
+    """
+
+    #: Human-readable name used in reports.
+    name: str = "local-algorithm"
+
+    def init(self, node: LocalNode) -> Dict[Vertex, Any]:
+        """Round 0: initialize ``node`` and return the first batch of messages."""
+        return {}
+
+    def round(self, node: LocalNode, round_number: int, inbox: Inbox) -> Dict[Vertex, Any]:
+        """Execute one synchronous round for ``node``.
+
+        Parameters
+        ----------
+        node:
+            The node being simulated (mutate ``node.memory``, call
+            ``node.terminate`` to finish).
+        round_number:
+            1-based round counter (round 0 is :meth:`init`).
+        inbox:
+            The messages delivered to the node this round.
+        """
+        raise NotImplementedError
+
+    def validate_outgoing(self, node: LocalNode, outgoing: Optional[Dict[Vertex, Any]]) -> Dict[Vertex, Any]:
+        """Check that a node only sends messages to its neighbors."""
+        if outgoing is None:
+            return {}
+        stray = set(outgoing) - node.neighbors
+        if stray:
+            raise ModelError(
+                f"node {node.vertex!r} attempted to message non-neighbors "
+                f"{sorted(stray, key=repr)!r}"
+            )
+        return dict(outgoing)

@@ -1,0 +1,101 @@
+"""The λ-approximation oracle interface consumed by the paper's reduction.
+
+The hardness proof of Theorem 1.1 is parameterized by *any* algorithm that
+computes a λ-approximate maximum independent set: the reduction runs
+``ρ = λ·ln(m) + 1`` phases and calls the approximator once per phase on
+the conflict graph of the surviving hyperedges.  :class:`MaxISApproximator`
+is the corresponding interface; the registry maps names to the concrete
+algorithms implemented in this package so that benchmarks can sweep over
+them uniformly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Hashable, Optional, Set
+
+from repro.exceptions import ApproximationError
+from repro.graphs.graph import Graph
+from repro.graphs.independent_sets import verify_independent_set
+
+Vertex = Hashable
+
+
+@dataclass(frozen=True)
+class MaxISApproximator:
+    """A named maximum-independent-set approximation algorithm.
+
+    Attributes
+    ----------
+    name:
+        Registry key / display name.
+    solve:
+        ``solve(graph) -> set_of_vertices``.
+    guarantee:
+        Callable mapping a graph to the approximation factor λ the
+        algorithm guarantees on that graph (``None`` when no worst-case
+        guarantee is claimed — e.g. purely heuristic baselines).
+    description:
+        One-line description used in benchmark tables.
+    """
+
+    name: str
+    solve: Callable[[Graph], Set[Vertex]]
+    guarantee: Optional[Callable[[Graph], float]] = None
+    description: str = ""
+
+    def __call__(self, graph: Graph) -> Set[Vertex]:
+        """Run the approximator and verify that its output is independent."""
+        result = self.solve(graph)
+        verify_independent_set(graph, result)
+        if graph.num_vertices() > 0 and not result:
+            raise ApproximationError(
+                f"approximator {self.name!r} returned an empty set on a non-empty graph; "
+                "no finite approximation factor can hold"
+            )
+        return set(result)
+
+    def guaranteed_lambda(self, graph: Graph) -> Optional[float]:
+        """Return the guaranteed approximation factor on ``graph`` (or ``None``)."""
+        if self.guarantee is None:
+            return None
+        value = self.guarantee(graph)
+        if value < 1:
+            raise ApproximationError(
+                f"approximator {self.name!r} claims an approximation factor {value} < 1"
+            )
+        return value
+
+
+_REGISTRY: Dict[str, MaxISApproximator] = {}
+
+
+def register_approximator(approximator: MaxISApproximator) -> MaxISApproximator:
+    """Add ``approximator`` to the global registry (overwriting by name is an error)."""
+    if approximator.name in _REGISTRY:
+        raise ApproximationError(f"approximator {approximator.name!r} already registered")
+    _REGISTRY[approximator.name] = approximator
+    return approximator
+
+
+def get_approximator(name: str) -> MaxISApproximator:
+    """Look up a registered approximator by name."""
+    _ensure_builtins()
+    if name not in _REGISTRY:
+        raise ApproximationError(
+            f"unknown approximator {name!r}; known: {sorted(_REGISTRY)}"
+        )
+    return _REGISTRY[name]
+
+
+def available_approximators() -> Dict[str, MaxISApproximator]:
+    """Return a copy of the registry (name → approximator)."""
+    _ensure_builtins()
+    return dict(_REGISTRY)
+
+
+def _ensure_builtins() -> None:
+    """Register the built-in algorithms on first use (import-cycle-free lazy init)."""
+    if _REGISTRY:
+        return
+    from repro.maxis import builtin  # noqa: F401  (importing registers the algorithms)

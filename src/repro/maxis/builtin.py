@@ -1,0 +1,61 @@
+"""Registration of the built-in MaxIS approximators.
+
+Importing this module populates the registry in
+:mod:`repro.maxis.approximators`; it is imported lazily by
+:func:`repro.maxis.approximators.get_approximator` so that library users who
+never touch the registry pay nothing.
+"""
+
+from __future__ import annotations
+
+from repro.maxis.approximators import MaxISApproximator, register_approximator
+from repro.maxis.exact import exact_maximum_independent_set
+from repro.maxis.greedy import first_fit_greedy, min_degree_greedy, turan_guarantee
+from repro.maxis.local_ratio import clique_cover_approximation
+from repro.maxis.luby_based import luby_based_approximation
+
+
+register_approximator(
+    MaxISApproximator(
+        name="exact",
+        solve=lambda g: exact_maximum_independent_set(g, size_limit=None),
+        guarantee=lambda g: 1.0,
+        description="Exact branch-and-bound (λ = 1); exponential worst case.",
+    )
+)
+
+register_approximator(
+    MaxISApproximator(
+        name="greedy-min-degree",
+        solve=min_degree_greedy,
+        guarantee=turan_guarantee,
+        description="Minimum-degree greedy; Turán-type (Δ+1)-approximation.",
+    )
+)
+
+register_approximator(
+    MaxISApproximator(
+        name="greedy-first-fit",
+        solve=first_fit_greedy,
+        guarantee=turan_guarantee,
+        description="First-fit maximal IS along a fixed order; (Δ+1)-approximation.",
+    )
+)
+
+register_approximator(
+    MaxISApproximator(
+        name="luby-best-of-5",
+        solve=lambda g: luby_based_approximation(g, seed=0, trials=5),
+        guarantee=turan_guarantee,
+        description="Largest of 5 random-order maximal independent sets.",
+    )
+)
+
+register_approximator(
+    MaxISApproximator(
+        name="clique-cover",
+        solve=clique_cover_approximation,
+        guarantee=turan_guarantee,
+        description="One representative per greedy clique-cover class.",
+    )
+)

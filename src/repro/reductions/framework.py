@@ -1,0 +1,189 @@
+"""Abstractions for distributed graph problems and local reductions.
+
+The P-SLOCAL framework of [GKM17] is built on two notions the paper relies
+on:
+
+* a **problem** — a specification of which outputs are valid for a given
+  input graph (or hypergraph); and
+* a **local reduction** from problem ``B`` to problem ``A`` — a LOCAL
+  algorithm that solves ``B`` given an oracle for ``A`` while incurring
+  only polylogarithmic overhead (in locality and in the number of oracle
+  calls / virtual-graph size).
+
+This module keeps those notions executable: a :class:`Problem` bundles a
+validity checker, a :class:`LocalReduction` bundles the transformation
+together with explicit overhead accounting, and reductions compose.  The
+concrete instances for the problems mentioned in the paper live in
+:mod:`repro.reductions.problems`; completeness facts are recorded in
+:mod:`repro.reductions.registry`.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional
+
+from repro.exceptions import ReductionError, VerificationError
+
+
+@dataclass(frozen=True)
+class Problem:
+    """A distributed graph/hypergraph problem.
+
+    Attributes
+    ----------
+    name:
+        Canonical identifier, e.g. ``"maxis-approx"``.
+    description:
+        One-line human-readable description.
+    verify:
+        ``verify(instance, solution) -> None``; must raise
+        :class:`~repro.exceptions.ReproError` on invalid solutions.  A
+        cheap verifier is what places a problem inside P-SLOCAL via the
+        [GHK18] derandomization route, so every problem shipped here has one.
+    """
+
+    name: str
+    description: str
+    verify: Callable[[Any, Any], None]
+
+    def is_valid(self, instance: Any, solution: Any) -> bool:
+        """Boolean convenience wrapper around :attr:`verify`."""
+        try:
+            self.verify(instance, solution)
+        except Exception:
+            return False
+        return True
+
+
+@dataclass
+class ReductionOverhead:
+    """Overhead accounting of one reduction run.
+
+    Attributes
+    ----------
+    oracle_calls:
+        How many times the target-problem oracle was invoked.
+    locality_factor:
+        Multiplicative blow-up of the locality/radius (virtual graphs,
+        distance powers, …).
+    instance_blowup:
+        Ratio between the largest oracle instance and the original instance
+        size (vertices).
+    """
+
+    oracle_calls: int = 0
+    locality_factor: float = 1.0
+    instance_blowup: float = 1.0
+
+    def is_polylog(self, n: int, exponent: float = 3.0, constant: float = 16.0) -> bool:
+        """Whether every overhead component fits under ``c·log(n)^exponent``.
+
+        The instance blow-up is allowed to be polynomial (local reductions
+        may construct polynomially larger virtual graphs); only the number
+        of oracle calls and the locality factor must stay polylogarithmic.
+        """
+        if n < 2:
+            return True
+        envelope = constant * (math.log2(n) ** exponent)
+        return self.oracle_calls <= envelope and self.locality_factor <= envelope
+
+
+@dataclass
+class ReductionRun:
+    """The output of executing a :class:`LocalReduction` on a concrete instance."""
+
+    solution: Any
+    overhead: ReductionOverhead
+    details: Dict[str, Any] = field(default_factory=dict)
+
+
+class LocalReduction:
+    """A local reduction from ``source`` to ``target``.
+
+    Parameters
+    ----------
+    source / target:
+        The two :class:`Problem` objects ("``source`` reduces to ``target``").
+    run:
+        ``run(instance, oracle) -> ReductionRun`` — solves the source
+        problem on ``instance`` using ``oracle`` (a callable solving the
+        target problem) and reports the overhead it incurred.
+    name:
+        Optional display name.
+    """
+
+    def __init__(
+        self,
+        source: Problem,
+        target: Problem,
+        run: Callable[[Any, Callable[[Any], Any]], ReductionRun],
+        name: Optional[str] = None,
+    ) -> None:
+        self.source = source
+        self.target = target
+        self._run = run
+        self.name = name or f"{source.name}<={target.name}"
+
+    def apply(self, instance: Any, oracle: Callable[[Any], Any], verify: bool = True) -> ReductionRun:
+        """Execute the reduction and (optionally) verify the produced solution."""
+        run = self._run(instance, oracle)
+        if not isinstance(run, ReductionRun):
+            raise ReductionError(
+                f"reduction {self.name!r} must return a ReductionRun, got {type(run)!r}"
+            )
+        if verify:
+            try:
+                self.source.verify(instance, run.solution)
+            except Exception as exc:
+                raise VerificationError(
+                    f"reduction {self.name!r} produced an invalid solution: {exc}"
+                ) from exc
+        return run
+
+    def compose(self, inner: "LocalReduction") -> "LocalReduction":
+        """Compose two reductions: ``self: B ≤ A`` after ``inner: A ≤ A'`` gives ``B ≤ A'``.
+
+        The composed overhead multiplies locality factors and instance
+        blow-ups and multiplies oracle-call counts (each outer oracle call
+        triggers one full inner run) — the same bookkeeping the formal
+        definition of local reductions uses to argue that polylog composes
+        with polylog.
+        """
+        if self.target.name != inner.source.name:
+            raise ReductionError(
+                f"cannot compose: {self.name!r} targets {self.target.name!r} but "
+                f"{inner.name!r} starts from {inner.source.name!r}"
+            )
+        outer = self
+
+        def run(instance: Any, oracle: Callable[[Any], Any]) -> ReductionRun:
+            inner_overheads: List[ReductionOverhead] = []
+
+            def composed_oracle(sub_instance: Any) -> Any:
+                inner_run = inner.apply(sub_instance, oracle)
+                inner_overheads.append(inner_run.overhead)
+                return inner_run.solution
+
+            outer_run = outer.apply(instance, composed_oracle)
+            total_inner_calls = sum(o.oracle_calls for o in inner_overheads)
+            max_inner_locality = max((o.locality_factor for o in inner_overheads), default=1.0)
+            max_inner_blowup = max((o.instance_blowup for o in inner_overheads), default=1.0)
+            combined = ReductionOverhead(
+                oracle_calls=total_inner_calls,
+                locality_factor=outer_run.overhead.locality_factor * max_inner_locality,
+                instance_blowup=outer_run.overhead.instance_blowup * max_inner_blowup,
+            )
+            return ReductionRun(
+                solution=outer_run.solution,
+                overhead=combined,
+                details={"outer": outer_run.details, "inner_runs": len(inner_overheads)},
+            )
+
+        return LocalReduction(
+            source=outer.source,
+            target=inner.target,
+            run=run,
+            name=f"{outer.name} ∘ {inner.name}",
+        )

@@ -1,0 +1,52 @@
+"""SLOCAL model simulator: engine, restricted views, persistent state, algorithms."""
+
+from repro.slocal.engine import SLOCALAlgorithm, SLOCALEngine, SLOCALResult
+from repro.slocal.state import NodeState, StateMap
+from repro.slocal.view import LocalView
+from repro.slocal.orderings import (
+    adversarial_orders,
+    bfs_order,
+    degree_order,
+    random_order,
+    sorted_order,
+    validate_order,
+)
+from repro.slocal.algorithms import (
+    SLOCALDistanceColoring,
+    SLOCALGreedyColoring,
+    SLOCALMIS,
+    SLOCALRuling,
+    slocal_distance_coloring,
+    slocal_greedy_coloring,
+    slocal_mis,
+    slocal_ruling_set,
+)
+from repro.slocal.hypergraph_algorithms import (
+    slocal_primal_conflict_free_coloring,
+    slocal_unique_witness_coloring,
+)
+
+__all__ = [
+    "SLOCALAlgorithm",
+    "SLOCALEngine",
+    "SLOCALResult",
+    "NodeState",
+    "StateMap",
+    "LocalView",
+    "adversarial_orders",
+    "bfs_order",
+    "degree_order",
+    "random_order",
+    "sorted_order",
+    "validate_order",
+    "SLOCALDistanceColoring",
+    "SLOCALGreedyColoring",
+    "SLOCALMIS",
+    "SLOCALRuling",
+    "slocal_distance_coloring",
+    "slocal_greedy_coloring",
+    "slocal_mis",
+    "slocal_ruling_set",
+    "slocal_primal_conflict_free_coloring",
+    "slocal_unique_witness_coloring",
+]

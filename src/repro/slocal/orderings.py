@@ -1,0 +1,102 @@
+"""Processing orders for SLOCAL executions.
+
+The SLOCAL model quantifies over *arbitrary* (adversarial) processing
+orders: an algorithm is correct only if it produces a valid output for
+every order.  The helpers here produce deterministic, random and simple
+adversarial orders so tests can exercise algorithms across many orders.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Hashable, List, Optional, Sequence, Union
+
+from repro.exceptions import ModelError
+from repro.graphs.graph import Graph
+
+Vertex = Hashable
+
+
+def _rng(seed: Optional[Union[int, random.Random]]) -> random.Random:
+    if isinstance(seed, random.Random):
+        return seed
+    return random.Random(seed)
+
+
+def sorted_order(graph: Graph) -> List[Vertex]:
+    """Deterministic order by ``repr`` of the vertices."""
+    return sorted(graph.vertices, key=repr)
+
+
+def random_order(graph: Graph, seed: Optional[Union[int, random.Random]] = None) -> List[Vertex]:
+    """Uniformly random processing order."""
+    order = sorted(graph.vertices, key=repr)
+    _rng(seed).shuffle(order)
+    return order
+
+
+def degree_order(graph: Graph, descending: bool = True) -> List[Vertex]:
+    """Order by degree (ties broken by ``repr``); high-degree first by default."""
+    return sorted(
+        graph.vertices,
+        key=lambda v: ((-graph.degree(v)) if descending else graph.degree(v), repr(v)),
+    )
+
+
+def bfs_order(graph: Graph, root: Optional[Vertex] = None) -> List[Vertex]:
+    """BFS order, restarting from an arbitrary vertex in each component."""
+    from repro.graphs.traversal import bfs_distances
+
+    remaining = set(graph.vertices)
+    order: List[Vertex] = []
+    while remaining:
+        start = root if root in remaining else min(remaining, key=repr)
+        dist = bfs_distances(graph, start)
+        component = sorted((d, repr(v), v) for v, d in dist.items() if v in remaining)
+        order.extend(v for _, _, v in component)
+        remaining -= set(dist)
+    return order
+
+
+def validate_order(graph: Graph, order: Sequence[Vertex]) -> List[Vertex]:
+    """Check that ``order`` is a permutation of the vertex set and return it as a list.
+
+    Raises
+    ------
+    ModelError
+        If the order misses vertices, contains duplicates or foreign vertices.
+    """
+    order_list = list(order)
+    order_set = set(order_list)
+    if len(order_set) != len(order_list):
+        raise ModelError("processing order contains duplicate vertices")
+    vertices = graph.vertices
+    if order_set != vertices:
+        missing = vertices - order_set
+        extra = order_set - vertices
+        raise ModelError(
+            f"processing order is not a permutation of V "
+            f"(missing {len(missing)}, extra {len(extra)})"
+        )
+    return order_list
+
+
+def adversarial_orders(
+    graph: Graph, n_random: int = 3, seed: Optional[int] = None
+) -> List[List[Vertex]]:
+    """Return a small battery of orders used by tests to probe order-sensitivity.
+
+    Includes the sorted order, its reverse, a high-degree-first order, a
+    low-degree-first order, a BFS order, and ``n_random`` random orders.
+    """
+    rng = _rng(seed)
+    orders = [
+        sorted_order(graph),
+        list(reversed(sorted_order(graph))),
+        degree_order(graph, descending=True),
+        degree_order(graph, descending=False),
+        bfs_order(graph),
+    ]
+    for _ in range(n_random):
+        orders.append(random_order(graph, seed=rng))
+    return orders

@@ -1,0 +1,118 @@
+"""Tests for the analysis helpers: decay curves, metrics, table rendering."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import (
+    approximator_quality_table,
+    conflict_graph_scaling_row,
+    decay_curve,
+    effective_lambda,
+    format_records,
+    format_table,
+    geometric_fit_rate,
+    mis_model_comparison,
+    observed_removal_fractions,
+    phase_summary,
+    phases_needed_at_rate,
+    run_summary,
+)
+from repro.core import solve_conflict_free_multicoloring
+from repro.exceptions import ReproError
+from repro.graphs import cycle_graph, erdos_renyi_graph
+from repro.hypergraph import colorable_almost_uniform_hypergraph
+from repro.maxis import get_approximator
+
+
+@pytest.fixture(scope="module")
+def reduction_result():
+    hypergraph, _ = colorable_almost_uniform_hypergraph(n=24, m=14, k=3, seed=19)
+    result = solve_conflict_free_multicoloring(
+        hypergraph, k=3, approximator=get_approximator("luby-best-of-5"), lam=6.0
+    )
+    return hypergraph, result
+
+
+class TestPhaseStats:
+    def test_decay_curve_shape(self, reduction_result):
+        hypergraph, result = reduction_result
+        curve = decay_curve(result)
+        assert len(curve.observed) == len(curve.guaranteed) == result.num_phases + 1
+        assert curve.observed[0] == hypergraph.num_edges()
+        assert curve.observed[-1] == 0
+
+    def test_removal_fractions_positive(self, reduction_result):
+        _, result = reduction_result
+        fractions = observed_removal_fractions(result)
+        assert fractions
+        assert all(0 < f <= 1 for f in fractions)
+
+    def test_effective_lambda_at_least_one(self, reduction_result):
+        _, result = reduction_result
+        assert effective_lambda(result) >= 1.0
+
+    def test_phase_summary_rows(self, reduction_result):
+        _, result = reduction_result
+        rows = phase_summary(result)
+        assert len(rows) == result.num_phases
+        assert all("removal_fraction" in row for row in rows)
+
+    def test_run_summary_keys_and_flags(self, reduction_result):
+        _, result = reduction_result
+        summary = run_summary(result)
+        assert summary["phases"] == result.num_phases
+        assert summary["within_color_bound"] == 1.0
+
+    def test_geometric_fit_rate(self):
+        assert geometric_fit_rate([100, 50, 25]) == pytest.approx(0.5)
+        assert geometric_fit_rate([10, 0]) == 0.0
+        with pytest.raises(ReproError):
+            geometric_fit_rate([5])
+
+    def test_phases_needed_at_rate(self):
+        assert phases_needed_at_rate(100, 0.5) == 7
+        assert phases_needed_at_rate(1, 0.5) == 1
+        assert phases_needed_at_rate(0, 0.5) == 0
+        assert phases_needed_at_rate(100, 0.0) == 1
+        with pytest.raises(ReproError):
+            phases_needed_at_rate(10, 1.0)
+
+
+class TestMetrics:
+    def test_approximator_quality_table(self):
+        g = erdos_renyi_graph(16, 0.3, seed=21)
+        rows = approximator_quality_table(g, names=["exact", "greedy-min-degree"])
+        by_name = {row["approximator"]: row for row in rows}
+        assert by_name["exact"]["measured_ratio"] == pytest.approx(1.0)
+        assert by_name["greedy-min-degree"]["measured_ratio"] >= 1.0
+
+    def test_mis_model_comparison_row(self):
+        row = mis_model_comparison(cycle_graph(10), seed=2)
+        assert row["slocal_valid"] == 1.0 and row["luby_valid"] == 1.0
+
+    def test_conflict_graph_scaling_row(self):
+        hypergraph, _ = colorable_almost_uniform_hypergraph(n=15, m=8, k=2, seed=22)
+        row = conflict_graph_scaling_row(hypergraph, k=2)
+        assert row["cg_vertices"] == row["cg_vertices_formula"]
+        assert row["cg_edges"] <= row["cg_edges_upper_bound"]
+
+
+class TestTables:
+    def test_format_table_alignment_and_rule(self):
+        text = format_table(["name", "value"], [["a", 1], ["bb", 2.5]])
+        lines = text.splitlines()
+        assert lines[0].startswith("name")
+        assert set(lines[1]) <= {"-", " "}
+        assert len(lines) == 4
+
+    def test_format_table_float_precision(self):
+        text = format_table(["x"], [[1.23456]])
+        assert "1.235" in text
+
+    def test_format_records(self):
+        text = format_records([{"a": 1, "b": True}, {"a": 2, "b": False}])
+        assert "yes" in text and "no" in text
+
+    def test_format_records_empty(self):
+        assert format_records([]) == "(no rows)"

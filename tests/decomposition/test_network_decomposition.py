@@ -1,0 +1,131 @@
+"""Tests for the network-decomposition substrate."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.decomposition import (
+    Clustering,
+    NetworkDecomposition,
+    ball_carving_decomposition,
+    cluster_graph,
+    decomposition_quality,
+    polylog_decomposition,
+    verify_network_decomposition,
+    weak_diameter,
+)
+from repro.exceptions import ModelError, VerificationError
+from repro.graphs import Graph, cycle_graph, erdos_renyi_graph, grid_graph, path_graph
+
+from tests.conftest import graphs
+
+
+class TestClustering:
+    def test_clusters_grouping(self):
+        clustering = Clustering(cluster_of={0: "a", 1: "a", 2: "b"})
+        assert clustering.clusters() == {"a": {0, 1}, "b": {2}}
+        assert clustering.num_clusters() == 2
+
+    def test_verify_partition_detects_missing_and_foreign(self):
+        g = path_graph(3)
+        with pytest.raises(ModelError):
+            Clustering(cluster_of={0: "a"}).verify_partition(g)
+        with pytest.raises(ModelError):
+            Clustering(cluster_of={0: "a", 1: "a", 2: "a", 9: "a"}).verify_partition(g)
+
+    def test_weak_diameter_uses_host_graph_paths(self):
+        g = cycle_graph(6)
+        # Vertices 0 and 3 are opposite; weak diameter uses the host distance 3.
+        assert weak_diameter(g, {0, 3}) == 3
+
+    def test_weak_diameter_disconnected_raises(self):
+        g = Graph(vertices=[0, 1])
+        with pytest.raises(ModelError):
+            weak_diameter(g, {0, 1})
+
+    def test_cluster_graph_adjacency(self):
+        g = path_graph(4)
+        clustering = Clustering(cluster_of={0: "a", 1: "a", 2: "b", 3: "b"})
+        quotient = cluster_graph(g, clustering)
+        assert quotient.has_edge("a", "b")
+        assert quotient.num_vertices() == 2
+
+
+class TestBallCarving:
+    def test_radius_zero_gives_singletons(self):
+        g = path_graph(5)
+        decomposition = ball_carving_decomposition(g, radius=0)
+        assert decomposition.clustering.num_clusters() == 5
+        verify_network_decomposition(g, decomposition, max_diameter=0)
+
+    def test_negative_radius_rejected(self):
+        with pytest.raises(ModelError):
+            ball_carving_decomposition(path_graph(3), radius=-1)
+
+    def test_decomposition_is_valid_partition_with_proper_coloring(self, random_graph):
+        decomposition = ball_carving_decomposition(random_graph, radius=2)
+        verify_network_decomposition(random_graph, decomposition)
+
+    def test_cluster_weak_diameter_bounded_by_twice_radius(self):
+        g = grid_graph(5, 5)
+        radius = 2
+        decomposition = ball_carving_decomposition(g, radius=radius)
+        verify_network_decomposition(g, decomposition, max_diameter=2 * radius)
+
+    def test_polylog_decomposition_quality(self):
+        g = erdos_renyi_graph(40, 0.1, seed=12)
+        decomposition = polylog_decomposition(g)
+        verify_network_decomposition(g, decomposition)
+        colors, diameter = decomposition_quality(g, decomposition)
+        n = g.num_vertices()
+        assert colors <= n
+        assert diameter <= 2 * math.ceil(math.log2(n)) + 1
+
+    @given(graphs(max_n=14), st.integers(min_value=0, max_value=3))
+    @settings(max_examples=25, deadline=None)
+    def test_ball_carving_always_valid(self, g, radius):
+        decomposition = ball_carving_decomposition(g, radius=radius)
+        verify_network_decomposition(g, decomposition, max_diameter=2 * radius)
+
+
+class TestVerification:
+    def test_adjacent_clusters_must_differ_in_color(self):
+        g = path_graph(4)
+        clustering = Clustering(cluster_of={0: "a", 1: "a", 2: "b", 3: "b"})
+        bad = NetworkDecomposition(clustering=clustering, cluster_colors={"a": 0, "b": 0})
+        with pytest.raises(VerificationError):
+            verify_network_decomposition(g, bad)
+
+    def test_color_budget_enforced(self):
+        g = path_graph(4)
+        clustering = Clustering(cluster_of={0: "a", 1: "a", 2: "b", 3: "b"})
+        decomposition = NetworkDecomposition(clustering=clustering, cluster_colors={"a": 0, "b": 1})
+        verify_network_decomposition(g, decomposition, max_colors=2)
+        with pytest.raises(VerificationError):
+            verify_network_decomposition(g, decomposition, max_colors=1)
+
+    def test_diameter_budget_enforced(self):
+        g = path_graph(6)
+        clustering = Clustering(cluster_of={v: "all" for v in g.vertices})
+        decomposition = NetworkDecomposition(clustering=clustering, cluster_colors={"all": 0})
+        verify_network_decomposition(g, decomposition, max_diameter=5)
+        with pytest.raises(VerificationError):
+            verify_network_decomposition(g, decomposition, max_diameter=2)
+
+    def test_missing_cluster_color_rejected(self):
+        g = path_graph(2)
+        clustering = Clustering(cluster_of={0: "a", 1: "b"})
+        decomposition = NetworkDecomposition(clustering=clustering, cluster_colors={"a": 0})
+        with pytest.raises(VerificationError):
+            verify_network_decomposition(g, decomposition)
+
+    def test_unassigned_vertex_rejected(self):
+        g = path_graph(3)
+        clustering = Clustering(cluster_of={0: "a", 1: "a"})
+        decomposition = NetworkDecomposition(clustering=clustering, cluster_colors={"a": 0})
+        with pytest.raises(VerificationError):
+            verify_network_decomposition(g, decomposition)

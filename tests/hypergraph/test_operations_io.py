@@ -1,0 +1,147 @@
+"""Tests for hypergraph operations, validation and (de)serialization."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+
+from repro.exceptions import HypergraphError
+from repro.hypergraph import (
+    Hypergraph,
+    almost_uniformity_parameters,
+    disjoint_union,
+    dual_hypergraph,
+    edge_intersection_graph,
+    has_polynomially_many_edges,
+    hypergraph_from_dict,
+    hypergraph_from_edge_lines,
+    hypergraph_from_json,
+    hypergraph_to_dict,
+    hypergraph_to_edge_lines,
+    hypergraph_to_json,
+    induced_subhypergraph,
+    is_almost_uniform,
+    is_uniform,
+    remove_happy_edges,
+    validate_hypergraph,
+)
+
+from tests.conftest import hypergraphs
+
+
+class TestOperations:
+    def test_remove_happy_edges(self, small_hypergraph):
+        result = remove_happy_edges(small_hypergraph, [0, 2])
+        assert set(result.edge_ids) == {1, 3}
+        assert result.vertices == small_hypergraph.vertices
+
+    def test_remove_unknown_edges_raises(self, small_hypergraph):
+        with pytest.raises(HypergraphError):
+            remove_happy_edges(small_hypergraph, ["bogus"])
+
+    def test_induced_subhypergraph_traces_edges(self, small_hypergraph):
+        induced = induced_subhypergraph(small_hypergraph, {0, 1, 2})
+        assert induced.edge(0) == frozenset({0, 1, 2})
+        assert induced.edge(1) == frozenset({2})
+        # Edge 3 = {0, 4} traces to {0}; edge 2 = {1, 3, 4} traces to {1}.
+        assert induced.num_edges() == 4
+
+    def test_induced_subhypergraph_drops_empty_traces(self):
+        h = Hypergraph.from_edge_list([[0, 1], [2, 3]])
+        induced = induced_subhypergraph(h, {0, 1})
+        assert induced.num_edges() == 1
+
+    def test_dual_hypergraph_swaps_roles(self, small_hypergraph):
+        dual = dual_hypergraph(small_hypergraph)
+        assert set(dual.vertices) == set(small_hypergraph.edge_ids)
+        # Vertex 2 of the original lies in edges 0 and 1, so the dual has
+        # an edge (with id 2) equal to {0, 1}.
+        assert dual.edge(2) == frozenset({0, 1})
+
+    def test_disjoint_union_sizes(self, small_hypergraph):
+        other = Hypergraph.from_edge_list([[0, 1]])
+        union = disjoint_union(small_hypergraph, other)
+        assert union.num_edges() == small_hypergraph.num_edges() + 1
+        assert union.num_vertices() == small_hypergraph.num_vertices() + 2
+
+    def test_edge_intersection_graph(self, small_hypergraph):
+        line = edge_intersection_graph(small_hypergraph)
+        assert line.has_edge(0, 1)       # share vertex 2
+        assert line.has_edge(0, 3)       # share vertex 0
+        assert not line.has_edge(1, 3)   # {2,3} vs {0,4} are disjoint
+
+
+class TestValidation:
+    def test_uniformity_predicates(self):
+        uniform = Hypergraph.from_edge_list([[0, 1], [2, 3]])
+        assert is_uniform(uniform)
+        assert is_almost_uniform(uniform, 0.5)
+        ragged = Hypergraph.from_edge_list([[0], [1, 2, 3]])
+        assert not is_uniform(ragged)
+        assert not is_almost_uniform(ragged, 1.0)
+
+    def test_almost_uniformity_parameters(self):
+        h = Hypergraph.from_edge_list([[0, 1, 2], [3, 4, 5, 6]])
+        k, eps = almost_uniformity_parameters(h)
+        assert k == 3
+        assert eps == pytest.approx(1 / 3)
+
+    def test_almost_uniformity_parameters_edgeless(self):
+        assert almost_uniformity_parameters(Hypergraph(vertices=[0])) is None
+
+    def test_almost_uniformity_parameters_failure(self):
+        h = Hypergraph.from_edge_list([[0], [1, 2, 3]])
+        with pytest.raises(HypergraphError):
+            almost_uniformity_parameters(h)
+
+    def test_invalid_epsilon(self):
+        with pytest.raises(HypergraphError):
+            is_almost_uniform(Hypergraph(), 0.0)
+
+    def test_polynomially_many_edges(self, small_hypergraph):
+        assert has_polynomially_many_edges(small_hypergraph)
+
+    @given(hypergraphs())
+    @settings(max_examples=30, deadline=None)
+    def test_generated_hypergraphs_are_internally_consistent(self, h):
+        validate_hypergraph(h)
+
+
+class TestIO:
+    def test_dict_round_trip(self, small_hypergraph):
+        data = hypergraph_to_dict(small_hypergraph)
+        back = hypergraph_from_dict(data)
+        assert back == small_hypergraph
+
+    def test_json_round_trip(self, small_hypergraph):
+        back = hypergraph_from_json(hypergraph_to_json(small_hypergraph))
+        assert back == small_hypergraph
+
+    def test_missing_edges_key_raises(self):
+        with pytest.raises(HypergraphError):
+            hypergraph_from_dict({"vertices": [1, 2]})
+
+    def test_malformed_edge_entry_raises(self):
+        with pytest.raises(HypergraphError):
+            hypergraph_from_dict({"vertices": [], "edges": [[1, [0], "extra"]]})
+
+    def test_edge_lines_round_trip_loses_ids_but_keeps_structure(self, small_hypergraph):
+        lines = hypergraph_to_edge_lines(small_hypergraph)
+        back = hypergraph_from_edge_lines(lines)
+        assert back.num_edges() == small_hypergraph.num_edges()
+        original_sets = sorted(sorted(m) for _, m in small_hypergraph.edges())
+        parsed_sets = sorted(sorted(m) for _, m in back.edges())
+        assert original_sets == parsed_sets
+
+    def test_edge_lines_skips_blank_lines(self):
+        back = hypergraph_from_edge_lines(["1 2", "", "3"])
+        assert back.num_edges() == 2
+
+    def test_edge_lines_mixed_tokens(self):
+        back = hypergraph_from_edge_lines(["a 1"])
+        assert back.edge(0) == frozenset({"a", 1})
+
+    @given(hypergraphs())
+    @settings(max_examples=25, deadline=None)
+    def test_dict_round_trip_property(self, h):
+        assert hypergraph_from_dict(hypergraph_to_dict(h)) == h

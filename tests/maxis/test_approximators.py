@@ -1,0 +1,202 @@
+"""Tests for the MaxIS approximation algorithms and the oracle registry."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import ApproximationError
+from repro.graphs import (
+    Graph,
+    complete_graph,
+    cycle_graph,
+    erdos_renyi_graph,
+    independence_number,
+    path_graph,
+    star_graph,
+    verify_independent_set,
+)
+from repro.maxis import (
+    MaxISApproximator,
+    available_approximators,
+    best_of_random_mis,
+    clique_cover_approximation,
+    clique_cover_number_upper_bound,
+    clique_cover_quality,
+    exact_maximum_independent_set,
+    exact_via_networkx,
+    first_fit_greedy,
+    get_approximator,
+    greedy_clique_cover,
+    luby_based_approximation,
+    min_degree_greedy,
+    random_order_mis,
+    register_approximator,
+    turan_guarantee,
+    turan_lower_bound,
+)
+
+from tests.conftest import graphs
+
+
+class TestRegistry:
+    def test_builtin_names_present(self):
+        names = set(available_approximators())
+        assert {"exact", "greedy-min-degree", "greedy-first-fit", "luby-best-of-5", "clique-cover"} <= names
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(ApproximationError):
+            get_approximator("does-not-exist")
+
+    def test_duplicate_registration_rejected(self):
+        get_approximator("exact")  # ensure builtins are loaded
+        with pytest.raises(ApproximationError):
+            register_approximator(
+                MaxISApproximator(name="exact", solve=lambda g: set())
+            )
+
+    def test_call_verifies_independence(self):
+        bad = MaxISApproximator(name="bad-tmp", solve=lambda g: set(g.vertices))
+        with pytest.raises(Exception):
+            bad(path_graph(3))
+
+    def test_call_rejects_empty_output_on_nonempty_graph(self):
+        lazy = MaxISApproximator(name="lazy-tmp", solve=lambda g: set())
+        with pytest.raises(ApproximationError):
+            lazy(path_graph(3))
+
+    def test_guarantee_below_one_rejected(self):
+        broken = MaxISApproximator(
+            name="broken-tmp", solve=lambda g: {next(iter(g.vertices))}, guarantee=lambda g: 0.5
+        )
+        with pytest.raises(ApproximationError):
+            broken.guaranteed_lambda(path_graph(3))
+
+    def test_guarantee_none_when_not_declared(self):
+        heuristic = MaxISApproximator(name="heur-tmp", solve=lambda g: set())
+        assert heuristic.guaranteed_lambda(path_graph(2)) is None
+
+
+class TestExact:
+    def test_exact_matches_known_values(self):
+        assert len(exact_maximum_independent_set(cycle_graph(9))) == 4
+        assert len(exact_maximum_independent_set(complete_graph(5))) == 1
+
+    def test_size_limit_guard(self):
+        g = erdos_renyi_graph(40, 0.1, seed=1)
+        with pytest.raises(ApproximationError):
+            exact_maximum_independent_set(g, size_limit=10)
+
+    def test_size_limit_disabled(self):
+        g = erdos_renyi_graph(30, 0.1, seed=1)
+        result = exact_maximum_independent_set(g, size_limit=None)
+        verify_independent_set(g, result)
+
+    def test_networkx_cross_check_empty_graph(self):
+        assert exact_via_networkx(Graph()) == set()
+
+
+class TestGreedy:
+    def test_min_degree_greedy_turan_bound(self):
+        for seed in range(5):
+            g = erdos_renyi_graph(25, 0.2, seed=seed)
+            result = min_degree_greedy(g)
+            assert len(result) >= turan_lower_bound(g) - 1e-9
+
+    def test_first_fit_greedy_is_independent(self, random_graph):
+        verify_independent_set(random_graph, first_fit_greedy(random_graph))
+
+    def test_turan_guarantee_is_delta_plus_one(self, random_graph):
+        assert turan_guarantee(random_graph) == random_graph.max_degree() + 1
+
+    @given(graphs(max_n=10))
+    @settings(max_examples=30, deadline=None)
+    def test_greedy_within_guarantee(self, g):
+        if g.num_vertices() == 0:
+            return
+        result = min_degree_greedy(g)
+        alpha = independence_number(g)
+        assert len(result) * turan_guarantee(g) >= alpha
+
+
+class TestLubyBased:
+    def test_random_order_mis_is_maximal(self, random_graph):
+        from repro.graphs import is_maximal_independent_set
+
+        assert is_maximal_independent_set(random_graph, random_order_mis(random_graph, seed=1))
+
+    def test_best_of_trials_not_smaller_than_single_run(self, random_graph):
+        single = random_order_mis(random_graph, seed=0)
+        best = best_of_random_mis(random_graph, trials=8, seed=0)
+        assert len(best) >= len(single)
+
+    def test_trials_must_be_positive(self, random_graph):
+        with pytest.raises(ApproximationError):
+            best_of_random_mis(random_graph, trials=0)
+
+    def test_luby_based_approximation_deterministic_for_seed(self, random_graph):
+        a = luby_based_approximation(random_graph, seed=5)
+        b = luby_based_approximation(random_graph, seed=5)
+        assert a == b
+
+
+class TestCliqueCover:
+    def test_cover_is_partition(self, random_graph):
+        cliques = greedy_clique_cover(random_graph)
+        union = set()
+        total = 0
+        for clique in cliques:
+            assert random_graph.is_clique(clique)
+            union |= clique
+            total += len(clique)
+        assert union == random_graph.vertices
+        assert total == random_graph.num_vertices()
+
+    def test_cover_size_upper_bounds_alpha(self):
+        for seed in range(4):
+            g = erdos_renyi_graph(16, 0.3, seed=seed)
+            assert clique_cover_number_upper_bound(g) >= independence_number(g)
+
+    def test_representatives_are_independent(self, random_graph):
+        verify_independent_set(random_graph, clique_cover_approximation(random_graph))
+
+    def test_quality_report_keys(self, random_graph):
+        report = clique_cover_quality(random_graph)
+        assert {"cliques", "selected", "certified_ratio"} <= set(report)
+        assert report["certified_ratio"] >= 1.0
+
+    def test_star_graph_cover(self):
+        from repro.graphs import is_maximal_independent_set
+
+        g = star_graph(5)
+        result = clique_cover_approximation(g)
+        # On a star the procedure either picks the center (if its clique comes
+        # first) or the leaves; both are maximal independent sets.
+        assert is_maximal_independent_set(g, result)
+        assert len(greedy_clique_cover(g)) == 5
+
+
+class TestRegisteredQuality:
+    @pytest.mark.parametrize("name", ["greedy-min-degree", "greedy-first-fit", "luby-best-of-5", "clique-cover"])
+    def test_every_registered_approximator_respects_its_guarantee(self, name):
+        approximator = get_approximator(name)
+        for seed in range(3):
+            g = erdos_renyi_graph(18, 0.25, seed=seed)
+            result = approximator(g)
+            lam = approximator.guaranteed_lambda(g)
+            assert len(result) * lam >= independence_number(g)
+
+    def test_exact_approximator_is_optimal(self):
+        approximator = get_approximator("exact")
+        g = erdos_renyi_graph(16, 0.3, seed=5)
+        assert len(approximator(g)) == independence_number(g)
+
+    @given(graphs(max_n=10), st.sampled_from(["greedy-min-degree", "luby-best-of-5", "clique-cover"]))
+    @settings(max_examples=30, deadline=None)
+    def test_approximators_always_return_independent_sets(self, g, name):
+        if g.num_vertices() == 0:
+            return
+        result = get_approximator(name)(g)
+        verify_independent_set(g, result)
+        assert result

@@ -1,0 +1,170 @@
+"""Tests for the problem / local-reduction framework and the completeness registry."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import ReductionError, VerificationError
+from repro.graphs import path_graph, star_graph
+from repro.hypergraph import colorable_almost_uniform_hypergraph
+from repro.maxis import get_approximator
+from repro.reductions import (
+    CF_MULTICOLORING,
+    CompletenessStatus,
+    LocalReduction,
+    MAXIS_APPROXIMATION,
+    MIS,
+    Problem,
+    ReductionOverhead,
+    ReductionRun,
+    VERTEX_COLORING,
+    all_facts,
+    cf_multicoloring_to_maxis_reduction,
+    complete_problems,
+    fact_for,
+    facts_by_status,
+    polylog_lambda,
+    recommended_color_budget,
+    summary_table,
+    theoretical_oracle_calls,
+)
+
+
+class TestProblems:
+    def test_mis_problem_verifier(self):
+        g = path_graph(4)
+        assert MIS.is_valid(g, {0, 2})
+        assert not MIS.is_valid(g, {0, 1})
+        assert not MIS.is_valid(g, {1})  # not maximal
+
+    def test_coloring_problem_verifier(self):
+        g = star_graph(3)
+        assert VERTEX_COLORING.is_valid(g, {0: 0, 1: 1, 2: 1, 3: 1})
+        assert not VERTEX_COLORING.is_valid(g, {0: 0, 1: 0, 2: 1, 3: 1})
+
+    def test_maxis_approx_problem_verifier(self):
+        g = star_graph(5)
+        assert MAXIS_APPROXIMATION.is_valid((g, 1.0), set(range(1, 6)))
+        assert not MAXIS_APPROXIMATION.is_valid((g, 2.0), {0})
+
+    def test_cf_multicoloring_problem_verifier(self):
+        from repro.coloring import Multicoloring
+
+        hypergraph, planted = colorable_almost_uniform_hypergraph(n=12, m=6, k=2, seed=2)
+        mc = Multicoloring({v: [c] for v, c in planted.items()})
+        assert CF_MULTICOLORING.is_valid((hypergraph, 2), mc)
+        assert not CF_MULTICOLORING.is_valid((hypergraph, 1), mc)
+
+
+class TestOverhead:
+    def test_polylog_check(self):
+        assert ReductionOverhead(oracle_calls=3, locality_factor=2.0).is_polylog(1000)
+        assert not ReductionOverhead(oracle_calls=10_000, locality_factor=2.0).is_polylog(100)
+
+    def test_small_n_is_always_fine(self):
+        assert ReductionOverhead(oracle_calls=999).is_polylog(1)
+
+
+class TestPaperReduction:
+    def _oracle(self, name="greedy-min-degree"):
+        approximator = get_approximator(name)
+        return lambda instance: approximator(instance[0])
+
+    def test_reduction_solves_cf_multicoloring(self):
+        hypergraph, _ = colorable_almost_uniform_hypergraph(n=20, m=12, k=3, seed=5)
+        lam = 6.0
+        reduction = cf_multicoloring_to_maxis_reduction(k=3, lam=lam)
+        budget = recommended_color_budget(3, lam, hypergraph.num_edges())
+        run = reduction.apply((hypergraph, budget), self._oracle())
+        assert isinstance(run, ReductionRun)
+        assert run.overhead.oracle_calls >= 1
+        assert run.overhead.oracle_calls <= theoretical_oracle_calls(lam, hypergraph.num_edges())
+        assert run.details["total_colors"] <= budget
+
+    def test_reduction_verifies_solution_against_source_problem(self):
+        hypergraph, _ = colorable_almost_uniform_hypergraph(n=16, m=8, k=2, seed=6)
+        reduction = cf_multicoloring_to_maxis_reduction(k=2, lam=4.0)
+        # A budget of 0 colors is unsatisfiable, so verification must fail.
+        with pytest.raises(VerificationError):
+            reduction.apply((hypergraph, 0), self._oracle())
+
+    def test_overhead_is_polylog_for_polylog_lambda(self):
+        hypergraph, _ = colorable_almost_uniform_hypergraph(n=30, m=15, k=3, seed=7)
+        lam = polylog_lambda(hypergraph.num_vertices())
+        reduction = cf_multicoloring_to_maxis_reduction(k=3, lam=lam)
+        budget = recommended_color_budget(3, lam, hypergraph.num_edges())
+        run = reduction.apply((hypergraph, budget), self._oracle())
+        assert run.overhead.is_polylog(hypergraph.num_vertices())
+        assert run.overhead.locality_factor == 2.0
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ReductionError):
+            cf_multicoloring_to_maxis_reduction(k=0, lam=2.0)
+        with pytest.raises(ReductionError):
+            cf_multicoloring_to_maxis_reduction(k=2, lam=0.0)
+
+    def test_polylog_lambda_values(self):
+        assert polylog_lambda(1) == 1.0
+        assert polylog_lambda(1024) == pytest.approx(100.0)
+
+
+class TestComposition:
+    def test_compose_type_mismatch_rejected(self):
+        trivial = Problem(name="trivial", description="", verify=lambda i, s: None)
+        a = LocalReduction(MIS, VERTEX_COLORING, lambda i, o: ReductionRun(None, ReductionOverhead()))
+        b = LocalReduction(MIS, trivial, lambda i, o: ReductionRun(None, ReductionOverhead()))
+        with pytest.raises(ReductionError):
+            a.compose(b)
+
+    def test_compose_multiplies_overheads(self):
+        identity = Problem(name="identity", description="", verify=lambda i, s: None)
+
+        def outer_run(instance, oracle):
+            oracle(instance)  # first call
+            solution = oracle(instance)  # second call
+            return ReductionRun(solution, ReductionOverhead(oracle_calls=2, locality_factor=3.0))
+
+        def inner_run(instance, oracle):
+            return ReductionRun(oracle(instance), ReductionOverhead(oracle_calls=1, locality_factor=2.0))
+
+        outer = LocalReduction(identity, identity, outer_run, name="outer")
+        inner = LocalReduction(identity, identity, inner_run, name="inner")
+        composed = outer.compose(inner)
+        run = composed.apply("instance", lambda x: x)
+        assert run.overhead.oracle_calls == 2       # two inner runs, one call each
+        assert run.overhead.locality_factor == 6.0  # 3 × 2
+        assert run.details["inner_runs"] == 2
+
+    def test_reduction_must_return_reduction_run(self):
+        identity = Problem(name="identity2", description="", verify=lambda i, s: None)
+        broken = LocalReduction(identity, identity, lambda i, o: "not-a-run")
+        with pytest.raises(ReductionError):
+            broken.apply("x", lambda v: v)
+
+
+class TestRegistry:
+    def test_maxis_approx_is_recorded_complete_with_paper_source(self):
+        fact = fact_for("maxis-approx")
+        assert fact is not None
+        assert fact.status is CompletenessStatus.COMPLETE
+        assert fact.source == "Maus19"
+
+    def test_mis_is_recorded_open_for_completeness_but_member(self):
+        fact = fact_for("mis")
+        assert fact.status is CompletenessStatus.MEMBER
+
+    def test_complete_problems_contains_known_entries(self):
+        complete = set(complete_problems())
+        assert {"network-decomposition", "conflict-free-multicoloring", "maxis-approx"} <= complete
+
+    def test_unknown_problem_returns_none(self):
+        assert fact_for("nonexistent-problem") is None
+
+    def test_summary_table_shape(self):
+        rows = summary_table()
+        assert len(rows) == len(all_facts())
+        assert all({"problem", "status", "source", "note"} <= set(r) for r in rows)
+
+    def test_facts_by_status_partitions(self):
+        total = sum(len(facts_by_status(s)) for s in CompletenessStatus)
+        assert total == len(all_facts())

@@ -1,0 +1,144 @@
+"""Tests for the concrete SLOCAL algorithms (MIS, greedy coloring, distance coloring)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graphs import (
+    bfs_distances,
+    complete_graph,
+    cycle_graph,
+    erdos_renyi_graph,
+    is_maximal_independent_set,
+    is_proper_coloring,
+    num_colors,
+    path_graph,
+    star_graph,
+)
+from repro.slocal import (
+    SLOCALDistanceColoring,
+    SLOCALEngine,
+    SLOCALMIS,
+    adversarial_orders,
+    slocal_distance_coloring,
+    slocal_greedy_coloring,
+    slocal_mis,
+    slocal_ruling_set,
+)
+
+from tests.conftest import graphs
+
+
+class TestSLOCALMIS:
+    def test_produces_maximal_independent_set(self, random_graph):
+        mis = slocal_mis(random_graph)
+        assert is_maximal_independent_set(random_graph, mis)
+
+    def test_valid_for_every_adversarial_order(self, random_graph):
+        for order in adversarial_orders(random_graph, n_random=2, seed=5):
+            mis = slocal_mis(random_graph, order=order)
+            assert is_maximal_independent_set(random_graph, mis)
+
+    def test_locality_is_one(self):
+        assert SLOCALMIS.locality == 1
+
+    def test_complete_graph_mis_is_single_vertex(self):
+        assert len(slocal_mis(complete_graph(6))) == 1
+
+    def test_empty_graph(self):
+        from repro.graphs import Graph
+
+        assert slocal_mis(Graph()) == set()
+
+    def test_isolated_vertices_always_join(self):
+        from repro.graphs import Graph
+
+        g = Graph(vertices=[1, 2, 3])
+        assert slocal_mis(g) == {1, 2, 3}
+
+    @given(graphs(), st.integers(min_value=0, max_value=9999))
+    @settings(max_examples=40, deadline=None)
+    def test_mis_valid_for_random_orders(self, g, seed):
+        from repro.slocal import random_order
+
+        mis = slocal_mis(g, order=random_order(g, seed=seed))
+        assert is_maximal_independent_set(g, mis)
+
+
+class TestSLOCALColoring:
+    def test_produces_proper_coloring_with_delta_plus_one_colors(self, random_graph):
+        coloring = slocal_greedy_coloring(random_graph)
+        assert is_proper_coloring(random_graph, coloring)
+        assert num_colors(coloring) <= random_graph.max_degree() + 1
+
+    def test_star_graph_two_colors(self):
+        assert num_colors(slocal_greedy_coloring(star_graph(6))) == 2
+
+    @given(graphs(), st.integers(min_value=0, max_value=9999))
+    @settings(max_examples=40, deadline=None)
+    def test_coloring_valid_for_random_orders(self, g, seed):
+        from repro.slocal import random_order
+
+        coloring = slocal_greedy_coloring(g, order=random_order(g, seed=seed))
+        assert is_proper_coloring(g, coloring)
+        if g.num_vertices():
+            assert num_colors(coloring) <= g.max_degree() + 1
+
+
+class TestDistanceColoring:
+    def test_distance_two_coloring_separates_close_vertices(self):
+        g = path_graph(7)
+        coloring = slocal_distance_coloring(g, distance=2)
+        for u in g.vertices:
+            dist = bfs_distances(g, u, radius=2)
+            for v, d in dist.items():
+                if v != u and d <= 2:
+                    assert coloring[u] != coloring[v]
+
+    def test_distance_must_be_positive(self):
+        with pytest.raises(ValueError):
+            SLOCALDistanceColoring(0)
+
+    def test_locality_matches_distance(self):
+        assert SLOCALDistanceColoring(3).locality == 3
+
+    def test_cycle_distance_coloring(self):
+        g = cycle_graph(9)
+        coloring = slocal_distance_coloring(g, distance=2)
+        # Distance-2 coloring of a cycle needs at least 3 colors.
+        assert len(set(coloring.values())) >= 3
+
+
+class TestRulingSet:
+    def test_radius_one_matches_mis_semantics(self, random_graph):
+        ruling = slocal_ruling_set(random_graph, radius=1)
+        assert is_maximal_independent_set(random_graph, ruling)
+
+    def test_radius_two_members_are_far_apart(self):
+        g = path_graph(10)
+        ruling = slocal_ruling_set(g, radius=2)
+        members = sorted(ruling)
+        for i, u in enumerate(members):
+            for v in members[i + 1:]:
+                assert abs(u - v) > 2
+
+    def test_radius_two_dominates_at_distance_two(self):
+        g = erdos_renyi_graph(25, 0.15, seed=8)
+        ruling = slocal_ruling_set(g, radius=2)
+        for v in g.vertices:
+            ball2 = set(bfs_distances(g, v, radius=2))
+            assert ball2 & ruling, f"vertex {v} is not dominated within distance 2"
+
+    def test_invalid_radius(self):
+        with pytest.raises(ValueError):
+            slocal_ruling_set(path_graph(3), radius=0)
+
+
+class TestEngineIntegration:
+    def test_mis_and_coloring_share_engine(self, random_graph):
+        engine = SLOCALEngine(random_graph)
+        mis_result = engine.run(SLOCALMIS())
+        assert mis_result.locality == 1
+        assert set(mis_result.outputs) == random_graph.vertices

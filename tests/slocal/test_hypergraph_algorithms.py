@@ -1,0 +1,89 @@
+"""Tests for the SLOCAL conflict-free coloring algorithms over the primal graph."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.coloring import (
+    num_colors_used,
+    verify_conflict_free_coloring,
+)
+from repro.hypergraph import (
+    Hypergraph,
+    colorable_almost_uniform_hypergraph,
+    sunflower_hypergraph,
+    uniform_random_hypergraph,
+)
+from repro.slocal import (
+    random_order,
+    slocal_primal_conflict_free_coloring,
+    slocal_unique_witness_coloring,
+)
+
+from tests.conftest import hypergraphs
+
+
+class TestPrimalColoring:
+    def test_result_is_total_and_conflict_free(self, small_hypergraph):
+        coloring = slocal_primal_conflict_free_coloring(small_hypergraph)
+        verify_conflict_free_coloring(small_hypergraph, coloring, require_total=True)
+
+    def test_color_count_bounded_by_primal_degree(self, small_hypergraph):
+        coloring = slocal_primal_conflict_free_coloring(small_hypergraph)
+        bound = small_hypergraph.primal_graph().max_degree() + 1
+        assert num_colors_used(coloring) <= bound
+
+    def test_on_random_hypergraph(self):
+        h = uniform_random_hypergraph(25, 15, 4, seed=3)
+        coloring = slocal_primal_conflict_free_coloring(h)
+        verify_conflict_free_coloring(h, coloring, require_total=True)
+
+    @given(hypergraphs(max_n=10, max_m=6), st.integers(min_value=0, max_value=9999))
+    @settings(max_examples=25, deadline=None)
+    def test_conflict_free_for_random_orders(self, h, seed):
+        order = random_order(h.primal_graph(), seed=seed)
+        coloring = slocal_primal_conflict_free_coloring(h, order=order)
+        verify_conflict_free_coloring(h, coloring)
+
+
+class TestUniqueWitnessColoring:
+    def test_result_is_conflict_free(self, small_hypergraph):
+        coloring = slocal_unique_witness_coloring(small_hypergraph)
+        verify_conflict_free_coloring(small_hypergraph, coloring)
+
+    def test_uses_no_more_colored_vertices_than_the_baseline(self):
+        h, _ = colorable_almost_uniform_hypergraph(n=30, m=18, k=3, seed=9)
+        frugal = slocal_unique_witness_coloring(h)
+        baseline = slocal_primal_conflict_free_coloring(h)
+        assert len(frugal) <= len(baseline)
+        verify_conflict_free_coloring(h, frugal)
+
+    def test_singleton_edges_force_their_vertex_to_be_colored(self):
+        h = Hypergraph.from_edge_list([[0], [1], [0, 1, 2]])
+        coloring = slocal_unique_witness_coloring(h)
+        assert 0 in coloring and 1 in coloring
+        verify_conflict_free_coloring(h, coloring)
+
+    def test_sunflower(self):
+        h = sunflower_hypergraph(n_petals=5, petal_size=2, core_size=2)
+        coloring = slocal_unique_witness_coloring(h)
+        verify_conflict_free_coloring(h, coloring)
+
+    def test_edgeless_hypergraph_colors_nothing(self):
+        h = Hypergraph(vertices=[0, 1, 2])
+        assert slocal_unique_witness_coloring(h) == {}
+
+    @given(hypergraphs(max_n=10, max_m=6), st.integers(min_value=0, max_value=9999))
+    @settings(max_examples=30, deadline=None)
+    def test_conflict_free_for_random_orders(self, h, seed):
+        order = random_order(h.primal_graph(), seed=seed)
+        coloring = slocal_unique_witness_coloring(h, order=order)
+        verify_conflict_free_coloring(h, coloring)
+
+    @given(hypergraphs(max_n=10, max_m=6))
+    @settings(max_examples=25, deadline=None)
+    def test_never_uses_more_colors_than_primal_degree_bound(self, h):
+        coloring = slocal_unique_witness_coloring(h)
+        assert num_colors_used(coloring) <= h.primal_graph().max_degree() + 1

@@ -1,0 +1,53 @@
+"""Tests for the command-line interface (python -m repro ...)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import main
+
+
+class TestCLI:
+    def test_registry_command(self, capsys):
+        assert main(["registry"]) == 0
+        out = capsys.readouterr().out
+        assert "maxis-approx" in out
+        assert "complete" in out
+
+    def test_reduce_command_small_instance(self, capsys):
+        code = main(
+            [
+                "reduce",
+                "--vertices", "20",
+                "--edges", "12",
+                "--palette", "2",
+                "--oracle", "greedy-min-degree",
+                "--lam", "4",
+                "--seed", "3",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "conflict-free: True" in out
+        assert "phases" in out
+
+    def test_lemma21_command(self, capsys):
+        assert main(["lemma21", "--vertices", "16", "--edges", "8", "--palette", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "|I_f| (lemma a)" in out
+
+    def test_models_command(self, capsys):
+        assert main(["models", "--vertices", "30", "--probability", "0.1"]) == 0
+        out = capsys.readouterr().out
+        assert "luby_rounds" in out
+
+    def test_unknown_oracle_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["reduce", "--oracle", "not-an-oracle"])
+
+    def test_missing_command_rejected(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+    def test_module_entry_point_importable(self):
+        import repro.__main__  # noqa: F401  (import must not execute main)

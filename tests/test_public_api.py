@@ -1,0 +1,83 @@
+"""Tests of the top-level package surface: exports, exceptions, version, docstring example."""
+
+from __future__ import annotations
+
+import pytest
+
+import repro
+from repro import (
+    ApproximationError,
+    ColoringError,
+    GraphError,
+    HypergraphError,
+    IndependenceError,
+    LocalityViolation,
+    ModelError,
+    ReductionError,
+    ReproError,
+    VerificationError,
+)
+
+
+class TestExceptionHierarchy:
+    @pytest.mark.parametrize(
+        "exc",
+        [
+            GraphError,
+            HypergraphError,
+            ColoringError,
+            IndependenceError,
+            ApproximationError,
+            ReductionError,
+            ModelError,
+            VerificationError,
+        ],
+    )
+    def test_all_errors_derive_from_repro_error(self, exc):
+        assert issubclass(exc, ReproError)
+        assert issubclass(exc, Exception)
+
+    def test_locality_violation_is_a_model_error(self):
+        assert issubclass(LocalityViolation, ModelError)
+
+    def test_errors_are_catchable_by_base_class(self):
+        with pytest.raises(ReproError):
+            raise GraphError("boom")
+
+
+class TestPackageSurface:
+    def test_version_string(self):
+        assert repro.__version__ == "1.0.0"
+
+    def test_all_exports_resolve(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), f"missing export {name}"
+
+    def test_docstring_example_runs(self):
+        from repro import (
+            colorable_almost_uniform_hypergraph,
+            get_approximator,
+            solve_conflict_free_multicoloring,
+            verify_reduction_result,
+        )
+
+        hypergraph, _ = colorable_almost_uniform_hypergraph(n=30, m=20, k=3, seed=1)
+        result = solve_conflict_free_multicoloring(
+            hypergraph, k=3, approximator=get_approximator("greedy-min-degree"), lam=4.0
+        )
+        report = verify_reduction_result(hypergraph, result)
+        assert report.conflict_free
+
+    def test_subpackages_importable(self):
+        import repro.analysis
+        import repro.coloring
+        import repro.core
+        import repro.decomposition
+        import repro.graphs
+        import repro.hypergraph
+        import repro.local_model
+        import repro.maxis
+        import repro.reductions
+        import repro.slocal
+
+        assert repro.core.__name__ == "repro.core"
