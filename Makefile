@@ -1,0 +1,30 @@
+# Developer entry points. `make test` is the tier-1 gate; `make bench-smoke`
+# runs the perf harness on the smallest workload and validates the JSON schema.
+
+PYTHON ?= python
+export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
+
+SMOKE_DIR := .bench-smoke
+
+.PHONY: test bench bench-smoke check install clean
+
+test:
+	$(PYTHON) -m pytest -x -q
+
+bench:
+	$(PYTHON) -m repro bench --out-dir .
+
+bench-smoke:
+	$(PYTHON) -m repro bench --smoke --out-dir $(SMOKE_DIR) --repeats 1
+	$(PYTHON) scripts/validate_bench.py $(SMOKE_DIR)/BENCH_conflict_graph.json $(SMOKE_DIR)/BENCH_maxis.json
+
+check: test bench-smoke
+
+# pip's PEP-517 editable path needs the `wheel` package; fall back to the
+# legacy develop install on environments that ship setuptools without it.
+install:
+	pip install -e . --no-build-isolation || $(PYTHON) setup.py develop
+
+clean:
+	rm -rf $(SMOKE_DIR) .pytest_cache
+	find . -name __pycache__ -type d -exec rm -rf {} +

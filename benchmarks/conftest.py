@@ -9,8 +9,10 @@ from __future__ import annotations
 
 import pytest
 
-from repro.graphs import cycle_graph, erdos_renyi_graph, grid_graph, random_tree
-from repro.hypergraph import colorable_almost_uniform_hypergraph, random_interval_hypergraph
+# The family builders are shared with the perf harness (`repro bench`);
+# they live in repro.bench so both consumers time identical workloads.
+from repro.bench import graph_family, hypergraph_family, interval_family  # noqa: F401
+from repro.hypergraph import colorable_almost_uniform_hypergraph
 
 
 def pytest_terminal_summary(terminalreporter):
@@ -27,37 +29,6 @@ def pytest_terminal_summary(terminalreporter):
     if text:
         terminalreporter.write_sep("=", "reproduction tables (see DESIGN.md §4 / EXPERIMENTS.md)")
         terminalreporter.write(text + "\n")
-
-
-def hypergraph_family(sizes=((30, 20), (60, 40), (90, 60), (120, 80)), k: int = 4, epsilon: float = 0.5):
-    """Return [(label, hypergraph, planted, k)] for a sweep of instance sizes."""
-    family = []
-    for idx, (n, m) in enumerate(sizes):
-        hypergraph, planted = colorable_almost_uniform_hypergraph(
-            n=n, m=m, k=k, epsilon=epsilon, seed=100 + idx
-        )
-        family.append((f"n={n},m={m}", hypergraph, planted, k))
-    return family
-
-
-def graph_family():
-    """Return [(label, graph)] for the MIS model-comparison experiment (E7)."""
-    return [
-        ("cycle C_64", cycle_graph(64)),
-        ("grid 8x8", grid_graph(8, 8)),
-        ("tree n=64", random_tree(64, seed=5)),
-        ("G(64, 0.08)", erdos_renyi_graph(64, 0.08, seed=6)),
-        ("G(64, 0.20)", erdos_renyi_graph(64, 0.20, seed=7)),
-    ]
-
-
-def interval_family():
-    """Return [(label, hypergraph, n_points)] of interval hypergraphs (E8)."""
-    result = []
-    for n_points, n_intervals, seed in [(16, 12, 1), (32, 24, 2), (48, 36, 3)]:
-        hypergraph = random_interval_hypergraph(n_points, n_intervals, seed=seed)
-        result.append((f"points={n_points}", hypergraph, n_points))
-    return result
 
 
 @pytest.fixture(scope="session")

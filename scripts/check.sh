@@ -1,0 +1,17 @@
+#!/bin/sh
+# Full local gate: tier-1 tests + perf-harness smoke run with schema check.
+# Equivalent to `make check`; kept as a plain script for environments
+# without make.
+set -eu
+cd "$(dirname "$0")/.."
+
+export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
+
+echo "== tier-1 tests =="
+python -m pytest -x -q
+
+echo "== bench smoke =="
+python -m repro bench --smoke --out-dir .bench-smoke --repeats 1
+python scripts/validate_bench.py .bench-smoke/BENCH_conflict_graph.json .bench-smoke/BENCH_maxis.json
+
+echo "check: OK"

@@ -1,0 +1,37 @@
+#!/usr/bin/env python
+"""Validate BENCH_*.json files against the perf-harness schema.
+
+Usage: python scripts/validate_bench.py BENCH_conflict_graph.json [...]
+
+Exits non-zero (with a message per file) on the first schema violation, so
+it can gate CI / `make bench-smoke`.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.bench import validate_bench_payload  # noqa: E402
+
+
+def main(argv: list) -> int:
+    if not argv:
+        print("usage: validate_bench.py BENCH_file.json [...]", file=sys.stderr)
+        return 2
+    for name in argv:
+        path = Path(name)
+        try:
+            validate_bench_payload(json.loads(path.read_text()))
+        except (OSError, ValueError) as exc:
+            print(f"{path}: INVALID ({exc})", file=sys.stderr)
+            return 1
+        print(f"{path}: ok")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -13,4 +13,5 @@ setup(
     packages=find_packages(where="src"),
     python_requires=">=3.9",
     install_requires=["networkx", "numpy"],
+    entry_points={"console_scripts": ["repro = repro.cli:main"]},
 )

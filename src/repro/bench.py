@@ -1,0 +1,276 @@
+"""Performance harness: timed conflict-graph builds and MIS solves.
+
+This module is the library half of ``benchmarks/perf_harness.py`` and the
+``repro bench`` CLI subcommand.  It times the two hottest layers of the
+pipeline on the standard workload families (the same families the
+benchmark suite under ``benchmarks/`` uses) and writes machine-readable
+trajectories:
+
+* ``BENCH_conflict_graph.json`` — wall time of the bucketed
+  :class:`~repro.core.conflict_graph.ConflictGraph` builder next to the
+  retained legacy (seed) builder, per workload;
+* ``BENCH_maxis.json`` — wall time of each registered MIS approximator on
+  the conflict graphs of the same workloads plus the plain-graph family.
+
+JSON schema (``schema_version`` 1): the top level carries
+``schema_version``, ``benchmark``, ``generated_by`` and ``records``; every
+record carries ``label`` (workload), ``n`` / ``m`` (size of the object
+being processed), ``wall_time_s`` and ``peak_triples`` (``|V(G_k)|``, the
+high-water number of conflict triples the workload materializes).
+Conflict-graph records add ``k``, ``num_edges``, ``legacy_wall_time_s``
+and ``speedup``; MIS records add ``algorithm`` and ``is_size``.  Later PRs
+must keep these keys so the trajectory stays comparable
+(:func:`validate_bench_payload` is the schema check used by tests and
+``make bench-smoke``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import time
+from pathlib import Path
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+
+CONFLICT_GRAPH_BENCH = "BENCH_conflict_graph.json"
+MAXIS_BENCH = "BENCH_maxis.json"
+
+SCHEMA_VERSION = 1
+
+#: The instance-size sweep of the benchmark suite's ``hypergraph_family``.
+DEFAULT_SIZES: Tuple[Tuple[int, int], ...] = ((30, 20), (60, 40), (90, 60), (120, 80))
+#: The single smallest workload, for smoke runs.
+SMOKE_SIZES: Tuple[Tuple[int, int], ...] = ((30, 20),)
+
+#: MIS algorithms timed by default (registry names).  ``exact`` is omitted:
+#: it is exponential and the conflict graphs here exceed its size guard.
+DEFAULT_MAXIS_ALGORITHMS: Tuple[str, ...] = (
+    "greedy-min-degree",
+    "greedy-first-fit",
+    "luby-best-of-5",
+)
+
+
+# ----------------------------------------------------------------------
+# workload families (shared with benchmarks/conftest.py)
+# ----------------------------------------------------------------------
+def hypergraph_family(
+    sizes: Sequence[Tuple[int, int]] = DEFAULT_SIZES, k: int = 4, epsilon: float = 0.5
+):
+    """Return ``[(label, hypergraph, planted, k)]`` for a sweep of instance sizes."""
+    from repro.hypergraph import colorable_almost_uniform_hypergraph
+
+    family = []
+    for idx, (n, m) in enumerate(sizes):
+        hypergraph, planted = colorable_almost_uniform_hypergraph(
+            n=n, m=m, k=k, epsilon=epsilon, seed=100 + idx
+        )
+        family.append((f"n={n},m={m}", hypergraph, planted, k))
+    return family
+
+
+def graph_family():
+    """Return ``[(label, graph)]`` for the MIS model-comparison experiment (E7)."""
+    from repro.graphs import cycle_graph, erdos_renyi_graph, grid_graph, random_tree
+
+    return [
+        ("cycle C_64", cycle_graph(64)),
+        ("grid 8x8", grid_graph(8, 8)),
+        ("tree n=64", random_tree(64, seed=5)),
+        ("G(64, 0.08)", erdos_renyi_graph(64, 0.08, seed=6)),
+        ("G(64, 0.20)", erdos_renyi_graph(64, 0.20, seed=7)),
+    ]
+
+
+def interval_family():
+    """Return ``[(label, hypergraph, n_points)]`` of interval hypergraphs (E8)."""
+    from repro.hypergraph import random_interval_hypergraph
+
+    result = []
+    for n_points, n_intervals, seed in [(16, 12, 1), (32, 24, 2), (48, 36, 3)]:
+        hypergraph = random_interval_hypergraph(n_points, n_intervals, seed=seed)
+        result.append((f"points={n_points}", hypergraph, n_points))
+    return result
+
+
+# ----------------------------------------------------------------------
+# timing
+# ----------------------------------------------------------------------
+def _best_time(fn: Callable[[], object], repeats: int) -> Tuple[float, object]:
+    """Run ``fn`` ``repeats`` times; return (best wall seconds, last result)."""
+    best = float("inf")
+    result: object = None
+    for _ in range(max(1, repeats)):
+        start = time.perf_counter()
+        result = fn()
+        elapsed = time.perf_counter() - start
+        if elapsed < best:
+            best = elapsed
+    return best, result
+
+
+def bench_conflict_graph(
+    sizes: Sequence[Tuple[int, int]] = DEFAULT_SIZES,
+    k: int = 4,
+    repeats: int = 3,
+    include_legacy: bool = True,
+) -> List[Dict[str, object]]:
+    """Time the bucketed builder (and optionally the legacy one) per workload."""
+    from repro.core.conflict_graph import ConflictGraph, legacy_build_graph
+
+    records: List[Dict[str, object]] = []
+    for label, hypergraph, _planted, kk in hypergraph_family(sizes=sizes, k=k):
+        fast_s, cg = _best_time(lambda: ConflictGraph(hypergraph, kk), repeats)
+        record: Dict[str, object] = {
+            "label": label,
+            "n": hypergraph.num_vertices(),
+            "m": hypergraph.num_edges(),
+            "k": kk,
+            "peak_triples": cg.num_vertices(),
+            "num_edges": cg.num_edges(),
+            "wall_time_s": fast_s,
+        }
+        if include_legacy:
+            legacy_s, legacy = _best_time(lambda: legacy_build_graph(hypergraph, kk), repeats)
+            if legacy != cg.graph:
+                raise AssertionError(
+                    f"bucketed and legacy conflict graphs differ on workload {label!r}"
+                )
+            record["legacy_wall_time_s"] = legacy_s
+            # None (not inf) when the timer underflows: json.dumps would emit
+            # the non-standard `Infinity` token and break strict consumers.
+            record["speedup"] = legacy_s / fast_s if fast_s > 0 else None
+        records.append(record)
+    return records
+
+
+def bench_maxis(
+    sizes: Sequence[Tuple[int, int]] = DEFAULT_SIZES,
+    k: int = 4,
+    repeats: int = 3,
+    algorithms: Sequence[str] = DEFAULT_MAXIS_ALGORITHMS,
+    include_plain_graphs: bool = True,
+) -> List[Dict[str, object]]:
+    """Time MIS solves on conflict graphs (and the plain-graph family)."""
+    from repro.core.conflict_graph import ConflictGraph
+    from repro.maxis import get_approximator
+
+    workloads: List[Tuple[str, object, int]] = []
+    for label, hypergraph, _planted, kk in hypergraph_family(sizes=sizes, k=k):
+        cg = ConflictGraph(hypergraph, kk)
+        workloads.append((f"G_k[{label}]", cg.graph, cg.num_vertices()))
+    if include_plain_graphs:
+        for label, graph in graph_family():
+            workloads.append((label, graph, 0))
+
+    records: List[Dict[str, object]] = []
+    for label, graph, peak_triples in workloads:
+        for name in algorithms:
+            solver = get_approximator(name)
+            wall_s, result = _best_time(lambda: solver(graph), repeats)
+            records.append(
+                {
+                    "label": label,
+                    "n": graph.num_vertices(),
+                    "m": graph.num_edges(),
+                    "algorithm": name,
+                    "is_size": len(result),
+                    "peak_triples": peak_triples,
+                    "wall_time_s": wall_s,
+                }
+            )
+    return records
+
+
+# ----------------------------------------------------------------------
+# JSON payloads
+# ----------------------------------------------------------------------
+def make_payload(benchmark: str, records: List[Dict[str, object]]) -> Dict[str, object]:
+    """Wrap ``records`` in the versioned envelope written to disk."""
+    return {
+        "schema_version": SCHEMA_VERSION,
+        "benchmark": benchmark,
+        "generated_by": "repro bench",
+        "records": records,
+    }
+
+
+#: Extra record keys required per benchmark kind (beyond the common five).
+_BENCHMARK_KEYS: Dict[str, Tuple[str, ...]] = {
+    "conflict_graph_build": ("k", "num_edges", "legacy_wall_time_s", "speedup"),
+    "maxis_solve": ("algorithm", "is_size"),
+}
+
+
+def validate_bench_payload(payload: Dict[str, object]) -> None:
+    """Raise ``ValueError`` unless ``payload`` matches the BENCH_* schema."""
+    for key in ("schema_version", "benchmark", "generated_by", "records"):
+        if key not in payload:
+            raise ValueError(f"bench payload missing key {key!r}")
+    if payload["schema_version"] != SCHEMA_VERSION:
+        raise ValueError(
+            f"unsupported schema_version {payload['schema_version']!r} "
+            f"(expected {SCHEMA_VERSION})"
+        )
+    records = payload["records"]
+    if not isinstance(records, list) or not records:
+        raise ValueError("bench payload has no records")
+    required = {"label", "n", "m", "wall_time_s", "peak_triples"}
+    required.update(_BENCHMARK_KEYS.get(str(payload["benchmark"]), ()))
+    for record in records:
+        missing = required - set(record)
+        if missing:
+            raise ValueError(f"bench record missing keys {sorted(missing)!r}: {record!r}")
+        if not isinstance(record["wall_time_s"], (int, float)) or record["wall_time_s"] < 0:
+            raise ValueError(f"bench record has invalid wall_time_s: {record!r}")
+
+
+def write_payload(path: Path, payload: Dict[str, object]) -> Path:
+    """Validate and pretty-print ``payload`` to ``path``."""
+    validate_bench_payload(payload)
+    path.write_text(json.dumps(payload, indent=2, sort_keys=False) + "\n")
+    return path
+
+
+def run(
+    out_dir: str = ".",
+    smoke: bool = False,
+    repeats: int = 3,
+    k: int = 4,
+) -> Dict[str, Path]:
+    """Run both benchmarks and write ``BENCH_*.json`` into ``out_dir``.
+
+    Returns a mapping of benchmark name to the written file path.
+    """
+    sizes = SMOKE_SIZES if smoke else DEFAULT_SIZES
+    directory = Path(out_dir)
+    directory.mkdir(parents=True, exist_ok=True)
+    written: Dict[str, Path] = {}
+    conflict_records = bench_conflict_graph(sizes=sizes, k=k, repeats=repeats)
+    written["conflict_graph"] = write_payload(
+        directory / CONFLICT_GRAPH_BENCH,
+        make_payload("conflict_graph_build", conflict_records),
+    )
+    maxis_records = bench_maxis(
+        sizes=sizes, k=k, repeats=repeats, include_plain_graphs=not smoke
+    )
+    written["maxis"] = write_payload(
+        directory / MAXIS_BENCH, make_payload("maxis_solve", maxis_records)
+    )
+    return written
+
+
+def main(argv: Optional[Iterable[str]] = None) -> int:
+    """Stand-alone entry point used by ``benchmarks/perf_harness.py``."""
+    parser = argparse.ArgumentParser(
+        prog="perf_harness", description="Time conflict-graph builds and MIS solves."
+    )
+    parser.add_argument("--out-dir", default=".", help="directory for the BENCH_*.json files")
+    parser.add_argument("--smoke", action="store_true", help="smallest workload only")
+    parser.add_argument("--repeats", type=int, default=3, help="timing repeats (best-of)")
+    parser.add_argument("--palette", type=int, default=4, help="palette size k")
+    args = parser.parse_args(list(argv) if argv is not None else None)
+    written = run(out_dir=args.out_dir, smoke=args.smoke, repeats=args.repeats, k=args.palette)
+    for name, path in written.items():
+        print(f"{name}: wrote {path}")
+    return 0

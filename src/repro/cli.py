@@ -77,6 +77,16 @@ def _build_parser() -> argparse.ArgumentParser:
     models_parser.add_argument("--seed", type=int, default=3)
 
     sub.add_parser("registry", help="print the P-SLOCAL completeness registry")
+
+    bench_parser = sub.add_parser(
+        "bench", help="run the perf harness and write BENCH_*.json trajectories"
+    )
+    bench_parser.add_argument("--out-dir", default=".", help="directory for BENCH_*.json files")
+    bench_parser.add_argument(
+        "--smoke", action="store_true", help="run only the smallest workload"
+    )
+    bench_parser.add_argument("--repeats", type=int, default=3, help="timing repeats (best-of)")
+    bench_parser.add_argument("--palette", type=int, default=4, help="palette size k")
     return parser
 
 
@@ -132,6 +142,22 @@ def _cmd_registry(_: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_bench(args: argparse.Namespace) -> int:
+    import json
+
+    from repro import bench
+
+    written = bench.run(
+        out_dir=args.out_dir, smoke=args.smoke, repeats=args.repeats, k=args.palette
+    )
+    for name, path in written.items():
+        payload = json.loads(path.read_text())
+        print(f"# {payload['benchmark']} -> {path}")
+        print(format_records(payload["records"]))
+        print()
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """Entry point used by ``python -m repro`` (and tests)."""
     parser = _build_parser()
@@ -141,6 +167,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "lemma21": _cmd_lemma21,
         "models": _cmd_models,
         "registry": _cmd_registry,
+        "bench": _cmd_bench,
     }
     return handlers[args.command](args)
 

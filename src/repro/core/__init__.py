@@ -7,6 +7,7 @@ from repro.core.conflict_graph import (
     build_conflict_graph,
     classify_conflict_edge,
     conflict_vertices,
+    legacy_build_graph,
 )
 from repro.core.correspondence import (
     coloring_to_independent_set,
@@ -46,6 +47,7 @@ __all__ = [
     "build_conflict_graph",
     "classify_conflict_edge",
     "conflict_vertices",
+    "legacy_build_graph",
     "coloring_to_independent_set",
     "happy_edges_of_independent_set",
     "independent_set_to_coloring",

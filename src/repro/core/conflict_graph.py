@@ -25,10 +25,11 @@ independent-set algorithm in :mod:`repro.maxis` applies directly.
 
 from __future__ import annotations
 
-from typing import Dict, Hashable, Iterator, List, NamedTuple, Set, Tuple
+from typing import Dict, Hashable, Iterator, List, NamedTuple, Optional, Set, Tuple
 
 from repro.exceptions import ReductionError
 from repro.graphs.graph import Graph
+from repro.graphs.indexed import IndexedGraph
 from repro.hypergraph.hypergraph import Hypergraph
 
 Vertex = Hashable
@@ -95,8 +96,93 @@ def classify_conflict_edge(a: ConflictVertex, b: ConflictVertex, hypergraph: Hyp
     return kinds
 
 
+def _build_adjacency(
+    hypergraph: Hypergraph, k: int
+) -> Tuple[List[ConflictVertex], List[Set[int]]]:
+    """Build ``G_k``'s adjacency directly from the three bucket structures.
+
+    Returns ``(triples, rows)`` where ``triples`` is ``V(G_k)`` in the
+    canonical interning order of :func:`conflict_vertices` and ``rows[i]``
+    is the set of neighbor *indices* of triple ``i``.  Each relation is
+    emitted straight into per-vertex integer sets — no pairwise
+    ``frozenset`` dedup, no ``has_edge`` pre-check and no ``repr`` sorting
+    in inner loops (the only sorts are the per-edge member orderings that
+    define the interning table itself):
+
+    * ``E_vertex`` — group triples by hypergraph vertex, link the
+      different-color classes of each group;
+    * ``E_edge`` — each hyperedge's block of ``|e|·k`` consecutive indices
+      forms a clique;
+    * ``E_color`` — for each triple ``(e, v, c)`` and each co-member
+      ``u ∈ e \\ {v}``, link to the ``(·, u, c)`` bucket (the witnessing
+      edge is ``e`` itself; the symmetric witness is added explicitly).
+    """
+    edge_ids = hypergraph.edge_ids
+    triples: List[ConflictVertex] = []
+    rows: List[Set[int]] = []
+    # (vertex, color) -> indices of triples (·, vertex, color); insertion is
+    # in canonical order, so the buckets are ascending.
+    vc_bucket: Dict[Tuple[Vertex, Color], List[int]] = {}
+    by_vertex: Dict[Vertex, List[int]] = {}
+    edge_blocks: List[Tuple[List[Vertex], int]] = []  # (sorted members, base index)
+    for e in edge_ids:
+        members = sorted(hypergraph.edge(e), key=repr)
+        base = len(triples)
+        edge_blocks.append((members, base))
+        for v in members:
+            for c in range(1, k + 1):
+                i = len(triples)
+                triples.append(ConflictVertex(edge=e, vertex=v, color=c))
+                rows.append(set())
+                vc_bucket.setdefault((v, c), []).append(i)
+                by_vertex.setdefault(v, []).append(i)
+
+    # E_vertex: within each vertex group, link every pair of distinct colors.
+    for v, group in by_vertex.items():
+        group_set = set(group)
+        for c in range(1, k + 1):
+            bucket = vc_bucket[(v, c)]
+            others = group_set.difference(bucket)
+            if not others:
+                continue
+            for i in bucket:
+                rows[i] |= others
+
+    # E_edge: each hyperedge's triples form a clique (consecutive indices).
+    for members, base in edge_blocks:
+        size = len(members) * k
+        block = set(range(base, base + size))
+        for i in block:
+            row = rows[i]
+            row |= block
+            row.discard(i)
+
+    # E_color: for a = (e, v, c) and u ∈ e with u ≠ v, every b = (g, u, c)
+    # is adjacent to a ({u, v} ⊆ e witnesses the relation); both directions
+    # are recorded so the rows stay symmetric.
+    for members, base in edge_blocks:
+        for pos, v in enumerate(members):
+            for u in members:
+                if u == v:
+                    continue
+                for c in range(1, k + 1):
+                    ia = base + pos * k + (c - 1)
+                    bucket = vc_bucket[(u, c)]
+                    rows[ia].update(bucket)
+                    for ib in bucket:
+                        rows[ib].add(ia)
+    return triples, rows
+
+
 def _edge_vertex_pairs(hypergraph: Hypergraph, k: int) -> Iterator[Tuple[ConflictVertex, ConflictVertex]]:
-    """Yield each adjacent pair of conflict vertices exactly once (internal)."""
+    """Yield each adjacent pair of conflict vertices exactly once (internal).
+
+    This is the original quadratic-overhead enumeration (pairwise
+    ``frozenset`` dedup, ``repr``-sorted inner loops).  It is retained as
+    the *reference* builder: the property tests check the bucketed
+    :func:`_build_adjacency` against it, and the perf harness times it to
+    report the speedup trajectory.
+    """
     # E_vertex: same hypergraph vertex, different colors (edges may coincide or differ).
     triples_by_vertex: Dict[Vertex, List[ConflictVertex]] = {}
     # E_edge / E_color bookkeeping below reuses the full triple list per edge.
@@ -152,6 +238,23 @@ def _edge_vertex_pairs(hypergraph: Hypergraph, k: int) -> Iterator[Tuple[Conflic
                     yield pair
 
 
+def legacy_build_graph(hypergraph: Hypergraph, k: int) -> Graph:
+    """Build ``G_k`` with the original pairwise-emit algorithm (reference).
+
+    Kept verbatim from the seed implementation so that (a) the property
+    tests have an independent oracle for the bucketed builder and (b) the
+    perf harness can measure the before/after speedup on identical
+    workloads.
+    """
+    if k <= 0:
+        raise ReductionError(f"palette size k must be positive, got {k}")
+    graph = Graph(vertices=conflict_vertices(hypergraph, k))
+    for a, b in _edge_vertex_pairs(hypergraph, k):
+        if not graph.has_edge(a, b):
+            graph.add_edge(a, b)
+    return graph
+
+
 class ConflictGraph:
     """The conflict graph ``G_k`` of conflict-free ``k``-coloring a hypergraph.
 
@@ -174,10 +277,26 @@ class ConflictGraph:
             raise ReductionError(f"palette size k must be positive, got {k}")
         self.hypergraph = hypergraph
         self.k = k
-        self.graph = Graph(vertices=conflict_vertices(hypergraph, k))
-        for a, b in _edge_vertex_pairs(hypergraph, k):
-            if not self.graph.has_edge(a, b):
-                self.graph.add_edge(a, b)
+        triples, rows = _build_adjacency(hypergraph, k)
+        self.graph = Graph._from_adjacency_unchecked(
+            {t: {triples[j] for j in rows[i]} for i, t in enumerate(triples)}
+        )
+        self._frozen: Optional["IndexedGraph"] = None
+
+    def frozen(self) -> "IndexedGraph":
+        """Return (and cache) the conflict graph as an :class:`IndexedGraph`.
+
+        The interning table is the canonical triple order of
+        :func:`conflict_vertices`, so ids are stable across calls and runs.
+
+        The cache assumes :class:`ConflictGraph` is treated as immutable
+        (as the whole pipeline does): mutating ``self.graph`` after the
+        first call would leave the cached snapshot stale — call
+        ``self.graph.freeze()`` directly instead if you mutate.
+        """
+        if self._frozen is None:
+            self._frozen = self.graph.freeze()
+        return self._frozen
 
     # ------------------------------------------------------------------
     # size accounting (benchmark E5)

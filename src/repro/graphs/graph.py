@@ -18,9 +18,12 @@ a silent self-loop would corrupt independent-set semantics.
 
 from __future__ import annotations
 
-from typing import Dict, Hashable, Iterable, Iterator, Set, Tuple
+from typing import TYPE_CHECKING, Dict, Hashable, Iterable, Iterator, Optional, Set, Tuple
 
 from repro.exceptions import GraphError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.graphs.indexed import IndexedGraph
 
 Vertex = Hashable
 Edge = Tuple[Vertex, Vertex]
@@ -52,10 +55,49 @@ class Graph:
         edges: Iterable[Edge] = (),
     ) -> None:
         self._adj: Dict[Vertex, Set[Vertex]] = {}
+        self._num_edges: int = 0
+        # degree -> number of vertices with that degree (zero counts removed);
+        # together with _max_degree this makes num_edges()/max_degree() O(1).
+        self._degree_hist: Dict[int, int] = {}
+        self._max_degree: int = 0
         for v in vertices:
             self.add_vertex(v)
         for u, v in edges:
             self.add_edge(u, v)
+
+    # ------------------------------------------------------------------
+    # incremental bookkeeping
+    # ------------------------------------------------------------------
+    def _degree_changed(self, old: int, new: int) -> None:
+        """Move one vertex from degree bucket ``old`` to ``new``."""
+        hist = self._degree_hist
+        count = hist[old] - 1
+        if count:
+            hist[old] = count
+        else:
+            del hist[old]
+        hist[new] = hist.get(new, 0) + 1
+        if new > self._max_degree:
+            self._max_degree = new
+        elif old == self._max_degree and old not in hist:
+            d = old
+            while d > 0 and d not in hist:
+                d -= 1
+            self._max_degree = d
+
+    def _degree_dropped(self, old: int) -> None:
+        """Forget one vertex that had degree ``old`` (vertex removal)."""
+        hist = self._degree_hist
+        count = hist[old] - 1
+        if count:
+            hist[old] = count
+        else:
+            del hist[old]
+        if old == self._max_degree and old not in hist:
+            d = old
+            while d > 0 and d not in hist:
+                d -= 1
+            self._max_degree = d
 
     # ------------------------------------------------------------------
     # construction
@@ -64,6 +106,7 @@ class Graph:
         """Add vertex ``v``; adding an existing vertex is a no-op."""
         if v not in self._adj:
             self._adj[v] = set()
+            self._degree_hist[0] = self._degree_hist.get(0, 0) + 1
 
     def add_vertices(self, vertices: Iterable[Vertex]) -> None:
         """Add every vertex in ``vertices``."""
@@ -82,8 +125,15 @@ class Graph:
             raise GraphError(f"self-loops are not supported (vertex {u!r})")
         self.add_vertex(u)
         self.add_vertex(v)
-        self._adj[u].add(v)
-        self._adj[v].add(u)
+        nbrs_u = self._adj[u]
+        if v in nbrs_u:
+            return
+        nbrs_v = self._adj[v]
+        nbrs_u.add(v)
+        nbrs_v.add(u)
+        self._num_edges += 1
+        self._degree_changed(len(nbrs_u) - 1, len(nbrs_u))
+        self._degree_changed(len(nbrs_v) - 1, len(nbrs_v))
 
     def add_edges(self, edges: Iterable[Edge]) -> None:
         """Add every edge in ``edges``."""
@@ -102,6 +152,9 @@ class Graph:
             raise GraphError(f"edge ({u!r}, {v!r}) not in graph")
         self._adj[u].discard(v)
         self._adj[v].discard(u)
+        self._num_edges -= 1
+        self._degree_changed(len(self._adj[u]) + 1, len(self._adj[u]))
+        self._degree_changed(len(self._adj[v]) + 1, len(self._adj[v]))
 
     def remove_vertex(self, v: Vertex) -> None:
         """Remove vertex ``v`` and all incident edges.
@@ -115,6 +168,9 @@ class Graph:
             raise GraphError(f"vertex {v!r} not in graph")
         for u in self._adj[v]:
             self._adj[u].discard(v)
+            self._degree_changed(len(self._adj[u]) + 1, len(self._adj[u]))
+        self._num_edges -= len(self._adj[v])
+        self._degree_dropped(len(self._adj[v]))
         del self._adj[v]
 
     # ------------------------------------------------------------------
@@ -140,6 +196,34 @@ class Graph:
             raise GraphError(f"vertex {v!r} not in graph")
         return set(self._adj[v])
 
+    def adjacent(self, v: Vertex) -> Set[Vertex]:
+        """Return the *internal* neighbor set of ``v`` without copying.
+
+        The returned set is a live view: callers must treat it as read-only
+        (mutating it would corrupt the graph's bookkeeping).  Use
+        :meth:`neighbors` when a defensive copy is needed.
+
+        Raises
+        ------
+        GraphError
+            If the vertex is not present.
+        """
+        if v not in self._adj:
+            raise GraphError(f"vertex {v!r} not in graph")
+        return self._adj[v]
+
+    def neighbors_iter(self, v: Vertex) -> Iterator[Vertex]:
+        """Iterate over the neighbors of ``v`` without copying the set.
+
+        Raises
+        ------
+        GraphError
+            If the vertex is not present.
+        """
+        if v not in self._adj:
+            raise GraphError(f"vertex {v!r} not in graph")
+        return iter(self._adj[v])
+
     def degree(self, v: Vertex) -> int:
         """Return the degree of ``v``."""
         if v not in self._adj:
@@ -147,10 +231,11 @@ class Graph:
         return len(self._adj[v])
 
     def max_degree(self) -> int:
-        """Return the maximum degree Δ of the graph (0 for empty graphs)."""
-        if not self._adj:
-            return 0
-        return max(len(nbrs) for nbrs in self._adj.values())
+        """Return the maximum degree Δ of the graph (0 for empty graphs).
+
+        Maintained incrementally via a degree histogram, so this is O(1).
+        """
+        return self._max_degree
 
     @property
     def vertices(self) -> Set[Vertex]:
@@ -158,13 +243,17 @@ class Graph:
         return set(self._adj)
 
     def edges(self) -> Iterator[Edge]:
-        """Iterate over each undirected edge exactly once."""
-        seen: Set[frozenset] = set()
+        """Iterate over each undirected edge exactly once.
+
+        Each edge ``{u, v}`` is reported from the endpoint that was inserted
+        first, so the iteration is deterministic for deterministic
+        construction orders and needs no per-pair ``frozenset`` dedup.
+        """
+        position = {v: i for i, v in enumerate(self._adj)}
         for u, nbrs in self._adj.items():
+            pu = position[u]
             for v in nbrs:
-                key = frozenset((u, v))
-                if key not in seen:
-                    seen.add(key)
+                if position[v] > pu:
                     yield (u, v)
 
     def num_vertices(self) -> int:
@@ -172,8 +261,8 @@ class Graph:
         return len(self._adj)
 
     def num_edges(self) -> int:
-        """Return ``|E|``."""
-        return sum(len(nbrs) for nbrs in self._adj.values()) // 2
+        """Return ``|E|`` (maintained incrementally, O(1))."""
+        return self._num_edges
 
     def __len__(self) -> int:
         return len(self._adj)
@@ -195,10 +284,38 @@ class Graph:
     # ------------------------------------------------------------------
     # derived graphs
     # ------------------------------------------------------------------
+    @classmethod
+    def _from_adjacency_unchecked(cls, adj: Dict[Vertex, Set[Vertex]]) -> "Graph":
+        """Adopt a prebuilt adjacency dict without re-validating it.
+
+        ``adj`` must be symmetric and loop-free; the caller transfers
+        ownership of the dict and its sets.  Used by :meth:`copy`, the
+        conflict-graph builder, and :class:`IndexedGraph` round-trips to
+        skip per-edge checks.
+        """
+        g = cls.__new__(cls)
+        g._adj = adj
+        total = 0
+        hist: Dict[int, int] = {}
+        max_degree = 0
+        for nbrs in adj.values():
+            d = len(nbrs)
+            total += d
+            hist[d] = hist.get(d, 0) + 1
+            if d > max_degree:
+                max_degree = d
+        g._num_edges = total // 2
+        g._degree_hist = hist
+        g._max_degree = max_degree
+        return g
+
     def copy(self) -> "Graph":
         """Return a deep copy of the graph."""
-        g = Graph()
+        g = Graph.__new__(Graph)
         g._adj = {v: set(nbrs) for v, nbrs in self._adj.items()}
+        g._num_edges = self._num_edges
+        g._degree_hist = dict(self._degree_hist)
+        g._max_degree = self._max_degree
         return g
 
     def subgraph(self, vertices: Iterable[Vertex]) -> "Graph":
@@ -209,12 +326,9 @@ class Graph:
         union of several neighborhoods).
         """
         keep = {v for v in vertices if v in self._adj}
-        g = Graph(vertices=keep)
-        for v in keep:
-            for u in self._adj[v] & keep:
-                if not g.has_edge(u, v):
-                    g.add_edge(u, v)
-        return g
+        return Graph._from_adjacency_unchecked(
+            {v: self._adj[v] & keep for v in keep}
+        )
 
     def complement(self) -> "Graph":
         """Return the complement graph on the same vertex set."""
@@ -258,6 +372,20 @@ class Graph:
     # ------------------------------------------------------------------
     # interop
     # ------------------------------------------------------------------
+    def freeze(self, order: Optional[Iterable[Vertex]] = None) -> "IndexedGraph":
+        """Return an immutable :class:`~repro.graphs.indexed.IndexedGraph` view.
+
+        Parameters
+        ----------
+        order:
+            Optional interning order (a permutation of the vertex set).
+            Defaults to insertion order, which is deterministic whenever the
+            graph was built deterministically.
+        """
+        from repro.graphs.indexed import IndexedGraph
+
+        return IndexedGraph.from_graph(self, order=order)
+
     def to_networkx(self):
         """Convert to a :class:`networkx.Graph` (vertices kept verbatim)."""
         import networkx as nx

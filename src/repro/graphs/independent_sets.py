@@ -8,7 +8,7 @@ reduction live in :mod:`repro.maxis`; they build on the primitives here.
 
 from __future__ import annotations
 
-from typing import FrozenSet, Hashable, Iterable, List, Optional, Sequence, Set
+from typing import Hashable, Iterable, List, Optional, Sequence, Set
 
 from repro.exceptions import GraphError, IndependenceError
 from repro.graphs.graph import Graph
@@ -29,7 +29,7 @@ def verify_independent_set(graph: Graph, candidate: Iterable[Vertex]) -> None:
     if len(vset) != len(vs):
         raise IndependenceError("candidate contains duplicate vertices")
     for v in vset:
-        conflict = graph.neighbors(v) & vset
+        conflict = vset.intersection(graph.adjacent(v))
         if conflict:
             raise IndependenceError(
                 f"vertices {v!r} and {next(iter(conflict))!r} are adjacent"
@@ -40,8 +40,8 @@ def is_maximal_independent_set(graph: Graph, candidate: Iterable[Vertex]) -> boo
     """Return ``True`` iff ``candidate`` is an *inclusion-maximal* independent set."""
     vset = set(candidate)
     verify_independent_set(graph, vset)
-    for v in graph.vertices:
-        if v not in vset and not (graph.neighbors(v) & vset):
+    for v in graph:
+        if v not in vset and vset.isdisjoint(graph.adjacent(v)):
             return False
     return True
 
@@ -71,7 +71,7 @@ def greedy_maximal_independent_set(
             raise GraphError("order must be a permutation of the vertex set")
     selected: Set[Vertex] = set()
     for v in order:
-        if not (graph.neighbors(v) & selected):
+        if selected.isdisjoint(graph.adjacent(v)):
             selected.add(v)
     return selected
 
@@ -81,6 +81,11 @@ def greedy_min_degree_independent_set(graph: Graph) -> Set[Vertex]:
 
     This classical heuristic achieves the Turán-type guarantee
     ``|I| ≥ n / (Δ + 1)`` and tends to perform much better in practice.
+
+    This is the *reference* implementation (kept simple on purpose; it is
+    the oracle the property tests compare against).  The production port,
+    a bucket-queue over a frozen :class:`IndexedGraph` with identical
+    output, is :func:`repro.maxis.greedy.min_degree_greedy`.
     """
     work = graph.copy()
     selected: Set[Vertex] = set()
@@ -99,43 +104,20 @@ def maximum_independent_set(graph: Graph) -> Set[Vertex]:
 
     The solver is a branch-and-bound over the standard recurrence
     ``α(G) = max(α(G − N[v] ) + 1, α(G − v))`` branching on a maximum-degree
-    vertex, with memoization on the remaining vertex set and a greedy lower
-    bound for pruning.  Exponential in the worst case — intended for the
-    ground-truth comparisons on small and medium instances used by the
-    test-suite and the benchmark harness.
+    vertex, with memoization on the remaining vertex set.  The search runs
+    on a frozen :class:`~repro.graphs.indexed.IndexedGraph` (vertices
+    interned in ``repr`` order) so the active set, memo keys and all
+    neighborhood algebra are machine-word-parallel bitset operations.
+    Exponential in the worst case — intended for the ground-truth
+    comparisons on small and medium instances used by the test-suite and
+    the benchmark harness.
     """
-    order = sorted(graph.vertices, key=repr)
-    index = {v: i for i, v in enumerate(order)}
-    memo: dict = {}
+    from repro.graphs.indexed import maximum_independent_set_mask
 
-    def solve(active: FrozenSet[Vertex]) -> FrozenSet[Vertex]:
-        if not active:
-            return frozenset()
-        if active in memo:
-            return memo[active]
-        # Vertices of degree 0 or 1 (within the active set) can be taken
-        # greedily without losing optimality.
-        for v in active:
-            deg = len(graph.neighbors(v) & active)
-            if deg == 0:
-                rest = solve(active - {v})
-                result = rest | {v}
-                memo[active] = result
-                return result
-            if deg == 1:
-                rest = solve(active - ({v} | graph.neighbors(v)))
-                result = rest | {v}
-                memo[active] = result
-                return result
-        # Branch on a maximum-degree vertex.
-        v = max(active, key=lambda u: (len(graph.neighbors(u) & active), -index[u]))
-        with_v = solve(active - ({v} | graph.neighbors(v))) | {v}
-        without_v = solve(active - {v})
-        result = with_v if len(with_v) >= len(without_v) else without_v
-        memo[active] = result
-        return result
-
-    best = set(solve(frozenset(graph.vertices)))
+    if graph.num_vertices() == 0:
+        return set()
+    frozen = graph.freeze(order=sorted(graph.vertices, key=repr))
+    best = frozen.labels_for_mask(maximum_independent_set_mask(frozen))
     verify_independent_set(graph, best)
     return best
 

@@ -7,32 +7,43 @@ maximum degree is polynomially bounded, so this already suffices for the
 end-to-end pipeline to terminate; the paper's theorem only needs *some*
 polylogarithmic approximation, which stronger oracles (or the exact solver
 on small instances) provide.
+
+Both algorithms here are the production ports running on a frozen
+:class:`~repro.graphs.indexed.IndexedGraph` (plain :class:`Graph` inputs
+are auto-frozen in ``repr`` order, which reproduces the reference
+implementations in :mod:`repro.graphs.independent_sets` bit-for-bit):
+min-degree greedy uses a bucket queue instead of an O(n) min-scan per
+selection, first-fit uses bitset neighborhood tests.
 """
 
 from __future__ import annotations
 
-from typing import Hashable, Set
+from typing import Hashable, Set, Union
 
 from repro.graphs.graph import Graph
-from repro.graphs.independent_sets import (
-    greedy_maximal_independent_set,
-    greedy_min_degree_independent_set,
+from repro.graphs.indexed import (
+    IndexedGraph,
+    first_fit_mis_ids,
+    freeze_sorted,
+    min_degree_greedy_ids,
 )
 
 Vertex = Hashable
 
 
-def min_degree_greedy(graph: Graph) -> Set[Vertex]:
+def min_degree_greedy(graph: Union[Graph, IndexedGraph]) -> Set[Vertex]:
     """Return the independent set found by the minimum-degree greedy algorithm."""
-    return greedy_min_degree_independent_set(graph)
+    frozen = freeze_sorted(graph)
+    return {frozen.label(i) for i in min_degree_greedy_ids(frozen)}
 
 
-def first_fit_greedy(graph: Graph) -> Set[Vertex]:
+def first_fit_greedy(graph: Union[Graph, IndexedGraph]) -> Set[Vertex]:
     """Return the maximal independent set found by first-fit (sorted order) greedy."""
-    return greedy_maximal_independent_set(graph)
+    frozen = freeze_sorted(graph)
+    return {frozen.label(i) for i in first_fit_mis_ids(frozen, range(len(frozen)))}
 
 
-def turan_guarantee(graph: Graph) -> float:
+def turan_guarantee(graph: Union[Graph, IndexedGraph]) -> float:
     """Return the worst-case approximation factor ``Δ + 1`` of the greedy algorithms.
 
     Any maximal independent set has size at least ``n / (Δ+1)`` while

@@ -5,16 +5,22 @@ maximum independent set.  Running Luby's algorithm (or the random-order
 greedy equivalent) several times and keeping the largest set is a simple
 randomized baseline that often does much better than its worst-case bound;
 benchmark E6 quantifies this on the conflict graphs of the reduction.
+
+Performance: the graph is frozen to a
+:class:`~repro.graphs.indexed.IndexedGraph` once per call (in ``repr``
+order, so results are bit-for-bit identical to the reference first-fit for
+any seed) and every trial is a bitset sweep over a freshly shuffled id
+permutation — repeated trials pay the interning cost only once.
 """
 
 from __future__ import annotations
 
 import random
-from typing import Hashable, Optional, Set, Union
+from typing import Hashable, List, Optional, Set, Union
 
 from repro.exceptions import ApproximationError
 from repro.graphs.graph import Graph
-from repro.graphs.independent_sets import greedy_maximal_independent_set
+from repro.graphs.indexed import IndexedGraph, first_fit_mis_ids, freeze_sorted
 
 Vertex = Hashable
 
@@ -25,7 +31,21 @@ def _rng(seed: Optional[Union[int, random.Random]]) -> random.Random:
     return random.Random(seed)
 
 
-def random_order_mis(graph: Graph, seed: Optional[Union[int, random.Random]] = None) -> Set[Vertex]:
+def _one_random_trial(frozen: IndexedGraph, rng: random.Random) -> List[int]:
+    """One maximal IS (as ids) along a uniformly random id permutation.
+
+    Shuffling ``[0, n)`` with ids interned in ``repr`` order consumes the
+    same RNG stream and visits the same vertex sequence as the reference
+    implementation, which shuffled the ``repr``-sorted label list.
+    """
+    order = list(range(len(frozen)))
+    rng.shuffle(order)
+    return first_fit_mis_ids(frozen, order)
+
+
+def random_order_mis(
+    graph: Union[Graph, IndexedGraph], seed: Optional[Union[int, random.Random]] = None
+) -> Set[Vertex]:
     """One maximal independent set computed along a uniformly random order.
 
     This is the sequential equivalent of one full run of Luby's algorithm:
@@ -33,13 +53,12 @@ def random_order_mis(graph: Graph, seed: Optional[Union[int, random.Random]] = N
     vertices in random priority order.
     """
     rng = _rng(seed)
-    order = sorted(graph.vertices, key=repr)
-    rng.shuffle(order)
-    return greedy_maximal_independent_set(graph, order=order)
+    frozen = freeze_sorted(graph)
+    return {frozen.label(i) for i in _one_random_trial(frozen, rng)}
 
 
 def best_of_random_mis(
-    graph: Graph,
+    graph: Union[Graph, IndexedGraph],
     trials: int = 10,
     seed: Optional[Union[int, random.Random]] = None,
 ) -> Set[Vertex]:
@@ -53,18 +72,21 @@ def best_of_random_mis(
     if trials <= 0:
         raise ApproximationError(f"trials must be positive, got {trials}")
     rng = _rng(seed)
-    best: Set[Vertex] = set()
+    frozen = freeze_sorted(graph)
+    best: List[int] = []
     for _ in range(trials):
-        candidate = random_order_mis(graph, seed=rng)
+        candidate = _one_random_trial(frozen, rng)
         if len(candidate) > len(best):
             best = candidate
-    if graph.num_vertices() > 0 and not best:
+    if len(frozen) > 0 and not best:
         # A maximal independent set of a non-empty graph is never empty;
         # reaching this line indicates a bug upstream.
         raise ApproximationError("random MIS sampling produced an empty set")
-    return best
+    return {frozen.label(i) for i in best}
 
 
-def luby_based_approximation(graph: Graph, seed: Optional[int] = None, trials: int = 5) -> Set[Vertex]:
+def luby_based_approximation(
+    graph: Union[Graph, IndexedGraph], seed: Optional[int] = None, trials: int = 5
+) -> Set[Vertex]:
     """Default Luby-style approximator used by the registry (best of ``trials`` runs)."""
     return best_of_random_mis(graph, trials=trials, seed=seed)

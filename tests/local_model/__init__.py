@@ -1,0 +1,1 @@
+"""Test package (explicit package so duplicate basenames import cleanly)."""

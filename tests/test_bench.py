@@ -1,0 +1,76 @@
+"""Smoke tests for the perf harness and the BENCH_*.json schema."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro import bench
+from repro.cli import main as cli_main
+
+
+@pytest.fixture(scope="module")
+def smoke_run(tmp_path_factory):
+    out = tmp_path_factory.mktemp("bench")
+    written = bench.run(out_dir=str(out), smoke=True, repeats=1)
+    return out, written
+
+
+class TestHarness:
+    def test_writes_both_files(self, smoke_run):
+        out, written = smoke_run
+        assert (out / bench.CONFLICT_GRAPH_BENCH).is_file()
+        assert (out / bench.MAXIS_BENCH).is_file()
+        assert set(written) == {"conflict_graph", "maxis"}
+
+    def test_conflict_graph_payload_schema(self, smoke_run):
+        out, _ = smoke_run
+        payload = json.loads((out / bench.CONFLICT_GRAPH_BENCH).read_text())
+        bench.validate_bench_payload(payload)
+        assert payload["benchmark"] == "conflict_graph_build"
+        (record,) = payload["records"]
+        assert record["label"] == "n=30,m=20"
+        (_, hypergraph, _, k) = bench.hypergraph_family(sizes=bench.SMOKE_SIZES)[0]
+        assert record["peak_triples"] == k * hypergraph.total_edge_size()
+        assert record["wall_time_s"] >= 0
+        assert "legacy_wall_time_s" in record
+        assert record["speedup"] > 0
+
+    def test_maxis_payload_schema(self, smoke_run):
+        out, _ = smoke_run
+        payload = json.loads((out / bench.MAXIS_BENCH).read_text())
+        bench.validate_bench_payload(payload)
+        assert payload["benchmark"] == "maxis_solve"
+        algorithms = {r["algorithm"] for r in payload["records"]}
+        assert set(bench.DEFAULT_MAXIS_ALGORITHMS) <= algorithms
+        for record in payload["records"]:
+            assert record["is_size"] > 0
+            assert record["n"] == record["peak_triples"]  # conflict-graph workloads
+
+    def test_validate_rejects_malformed_payloads(self):
+        with pytest.raises(ValueError):
+            bench.validate_bench_payload({})
+        with pytest.raises(ValueError):
+            bench.validate_bench_payload(bench.make_payload("x", []))
+        with pytest.raises(ValueError):
+            bench.validate_bench_payload(
+                bench.make_payload("x", [{"label": "w", "n": 1, "m": 1}])
+            )
+        bad_version = bench.make_payload(
+            "x", [{"label": "w", "n": 1, "m": 1, "wall_time_s": 0.1, "peak_triples": 4}]
+        )
+        bad_version["schema_version"] = 999
+        with pytest.raises(ValueError):
+            bench.validate_bench_payload(bad_version)
+
+    def test_cli_bench_subcommand(self, tmp_path, capsys):
+        exit_code = cli_main(
+            ["bench", "--smoke", "--out-dir", str(tmp_path), "--repeats", "1"]
+        )
+        assert exit_code == 0
+        captured = capsys.readouterr().out
+        assert "conflict_graph_build" in captured
+        assert (tmp_path / bench.CONFLICT_GRAPH_BENCH).is_file()
+        payload = json.loads((tmp_path / bench.CONFLICT_GRAPH_BENCH).read_text())
+        bench.validate_bench_payload(payload)
