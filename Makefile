@@ -16,7 +16,7 @@ bench:
 
 bench-smoke:
 	$(PYTHON) -m repro bench --smoke --out-dir $(SMOKE_DIR) --repeats 1
-	$(PYTHON) scripts/validate_bench.py $(SMOKE_DIR)/BENCH_conflict_graph.json $(SMOKE_DIR)/BENCH_maxis.json
+	$(PYTHON) scripts/validate_bench.py $(SMOKE_DIR)/BENCH_conflict_graph.json $(SMOKE_DIR)/BENCH_maxis.json $(SMOKE_DIR)/BENCH_reduction.json
 
 check: test bench-smoke
 

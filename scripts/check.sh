@@ -12,6 +12,6 @@ python -m pytest -x -q
 
 echo "== bench smoke =="
 python -m repro bench --smoke --out-dir .bench-smoke --repeats 1
-python scripts/validate_bench.py .bench-smoke/BENCH_conflict_graph.json .bench-smoke/BENCH_maxis.json
+python scripts/validate_bench.py .bench-smoke/BENCH_conflict_graph.json .bench-smoke/BENCH_maxis.json .bench-smoke/BENCH_reduction.json
 
 echo "check: OK"

@@ -10,7 +10,12 @@ trajectories:
   :class:`~repro.core.conflict_graph.ConflictGraph` builder next to the
   retained legacy (seed) builder, per workload;
 * ``BENCH_maxis.json`` — wall time of each registered MIS approximator on
-  the conflict graphs of the same workloads plus the plain-graph family.
+  the conflict graphs of the same workloads plus the plain-graph family;
+* ``BENCH_reduction.json`` — wall time of the full Theorem 1.1 pipeline
+  (``ConflictFreeMulticoloringViaMaxIS.run``, the incremental phase
+  engine) next to the retained rebuild-per-phase path
+  (:meth:`~repro.core.reduction.ConflictFreeMulticoloringViaMaxIS.run_rebuild`),
+  per workload and oracle regime, with result equality asserted.
 
 JSON schema (``schema_version`` 1): the top level carries
 ``schema_version``, ``benchmark``, ``generated_by`` and ``records``; every
@@ -18,24 +23,39 @@ record carries ``label`` (workload), ``n`` / ``m`` (size of the object
 being processed), ``wall_time_s`` and ``peak_triples`` (``|V(G_k)|``, the
 high-water number of conflict triples the workload materializes).
 Conflict-graph records add ``k``, ``num_edges``, ``legacy_wall_time_s``
-and ``speedup``; MIS records add ``algorithm`` and ``is_size``.  Later PRs
-must keep these keys so the trajectory stays comparable
-(:func:`validate_bench_payload` is the schema check used by tests and
-``make bench-smoke``).
+and ``speedup``; MIS records add ``algorithm`` and ``is_size``; reduction
+records add ``k``, ``num_phases``, ``total_colors``,
+``rebuild_wall_time_s`` and ``speedup`` (plus the informational ``oracle``
+and ``lam``).  Later PRs must keep these keys so the trajectory stays
+comparable (:func:`validate_bench_payload` is the schema check used by
+tests and ``make bench-smoke``).
+
+One deliberate semantics change since the incremental engine (PR 2):
+conflict-graph ``wall_time_s`` times the :class:`ConflictGraph`
+constructor, which now produces the frozen bitset snapshot the pipeline
+consumes instead of an eagerly built mutable ``Graph``.  The extra
+``graph_wall_time_s`` key also materializes the mutable graph — that is
+the pre-PR-2 deliverable, so cross-PR comparisons spanning the change
+should use it.
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+import math
 import time
 from pathlib import Path
 from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 
 CONFLICT_GRAPH_BENCH = "BENCH_conflict_graph.json"
 MAXIS_BENCH = "BENCH_maxis.json"
+REDUCTION_BENCH = "BENCH_reduction.json"
 
 SCHEMA_VERSION = 1
+
+#: The benchmark families ``run()`` knows how to produce.
+FAMILIES = ("conflict-graph", "maxis", "reduction")
 
 #: The instance-size sweep of the benchmark suite's ``hypergraph_family``.
 DEFAULT_SIZES: Tuple[Tuple[int, int], ...] = ((30, 20), (60, 40), (90, 60), (120, 80))
@@ -120,7 +140,22 @@ def bench_conflict_graph(
 
     records: List[Dict[str, object]] = []
     for label, hypergraph, _planted, kk in hypergraph_family(sizes=sizes, k=k):
+        # ``wall_time_s`` times the constructor alone — since the
+        # incremental engine landed, that builds the bucket structures plus
+        # the frozen bitset snapshot, which is exactly what the reduction's
+        # phase loop consumes (the mutable .graph became a lazily
+        # materialized compatibility view).  ``graph_wall_time_s``
+        # additionally materializes that mutable Graph, i.e. the deliverable
+        # PR 1 timed: compare *that* key against pre-PR-2 ``wall_time_s``
+        # values when reading the trajectory across the change.
         fast_s, cg = _best_time(lambda: ConflictGraph(hypergraph, kk), repeats)
+
+        def build_with_graph():
+            full = ConflictGraph(hypergraph, kk)
+            full.graph
+            return full
+
+        graph_s, _cg2 = _best_time(build_with_graph, repeats)
         record: Dict[str, object] = {
             "label": label,
             "n": hypergraph.num_vertices(),
@@ -129,6 +164,7 @@ def bench_conflict_graph(
             "peak_triples": cg.num_vertices(),
             "num_edges": cg.num_edges(),
             "wall_time_s": fast_s,
+            "graph_wall_time_s": graph_s,
         }
         if include_legacy:
             legacy_s, legacy = _best_time(lambda: legacy_build_graph(hypergraph, kk), repeats)
@@ -182,6 +218,102 @@ def bench_maxis(
     return records
 
 
+#: Assumed approximation factor for the λ-capped benchmark oracle.
+REDUCTION_LAM = 4.0
+
+
+def capped_oracle(base_name: str = "greedy-first-fit", lam: float = REDUCTION_LAM):
+    """A genuinely λ-approximate oracle: the base oracle capped to ``⌈|I|/λ⌉`` triples.
+
+    The full-strength registry oracles solve the colorable workloads in
+    one or two phases, where an incremental engine cannot beat a rebuild
+    by definition (there is nothing to reuse).  Capping the returned
+    independent set to a ``1/λ`` fraction (any subset of an independent
+    set is independent, so Lemma 2.1(b) still holds per selected triple)
+    emulates an oracle that only achieves its worst-case guarantee — the
+    regime the paper's analysis is about, with ``ρ = λ·ln(m) + 1`` phases
+    — and is the primary workload of the reduction benchmark.
+    """
+    from repro.maxis import MaxISApproximator, get_approximator
+
+    base = get_approximator(base_name)
+
+    def solve(graph):
+        full = sorted(base.solve(graph), key=repr)
+        target = max(1, math.ceil(len(full) / lam))
+        return set(full[:target])
+
+    return MaxISApproximator(
+        name=f"{base_name}@1/{lam:g}",
+        solve=solve,
+        accepts_frozen=True,  # delegates to a built-in, which handles views
+        description=f"{base_name} capped to a 1/{lam:g} fraction (worst-case λ regime).",
+    )
+
+
+def bench_reduction(
+    sizes: Sequence[Tuple[int, int]] = DEFAULT_SIZES,
+    k: int = 4,
+    repeats: int = 3,
+    lam: float = REDUCTION_LAM,
+) -> List[Dict[str, object]]:
+    """Time the end-to-end reduction: incremental engine vs. rebuild-per-phase.
+
+    Two oracle regimes per workload: the λ-capped first-fit oracle (the
+    multi-phase worst-case regime, ~``λ·ln m`` phases) and the
+    full-strength first-fit oracle (the 1–2 phase best case).  Both paths
+    must produce identical :class:`~repro.core.reduction.ReductionResult`
+    contents; a mismatch aborts the benchmark.
+    """
+    from repro.core.conflict_graph import ConflictGraph
+    from repro.core.reduction import ConflictFreeMulticoloringViaMaxIS
+    from repro.maxis import get_approximator
+
+    oracles = [
+        (f"first-fit@1/{lam:g}", capped_oracle("greedy-first-fit", lam)),
+        ("first-fit", get_approximator("greedy-first-fit")),
+    ]
+    records: List[Dict[str, object]] = []
+    for label, hypergraph, _planted, kk in hypergraph_family(sizes=sizes, k=k):
+        peak_triples = kk * hypergraph.total_edge_size()
+        for oracle_label, oracle in oracles:
+            reduction = ConflictFreeMulticoloringViaMaxIS(
+                k=kk, approximator=oracle, lam=lam
+            )
+            fast_s, result = _best_time(lambda: reduction.run(hypergraph), repeats)
+            rebuild_s, reference = _best_time(
+                lambda: reduction.run_rebuild(hypergraph), repeats
+            )
+            if (
+                result.multicoloring != reference.multicoloring
+                or result.phases != reference.phases
+                or result.phase_bound != reference.phase_bound
+                or result.color_bound != reference.color_bound
+            ):
+                raise AssertionError(
+                    f"incremental and rebuild reductions differ on workload "
+                    f"{label!r} with oracle {oracle_label!r}"
+                )
+            records.append(
+                {
+                    "label": label,
+                    "n": hypergraph.num_vertices(),
+                    "m": hypergraph.num_edges(),
+                    "k": kk,
+                    "oracle": oracle_label,
+                    "lam": lam,
+                    "peak_triples": peak_triples,
+                    "num_phases": result.num_phases,
+                    "total_colors": result.total_colors,
+                    "wall_time_s": fast_s,
+                    "rebuild_wall_time_s": rebuild_s,
+                    # None (not inf) when the timer underflows, as above.
+                    "speedup": rebuild_s / fast_s if fast_s > 0 else None,
+                }
+            )
+    return records
+
+
 # ----------------------------------------------------------------------
 # JSON payloads
 # ----------------------------------------------------------------------
@@ -197,8 +329,21 @@ def make_payload(benchmark: str, records: List[Dict[str, object]]) -> Dict[str, 
 
 #: Extra record keys required per benchmark kind (beyond the common five).
 _BENCHMARK_KEYS: Dict[str, Tuple[str, ...]] = {
-    "conflict_graph_build": ("k", "num_edges", "legacy_wall_time_s", "speedup"),
+    "conflict_graph_build": (
+        "k",
+        "num_edges",
+        "graph_wall_time_s",
+        "legacy_wall_time_s",
+        "speedup",
+    ),
     "maxis_solve": ("algorithm", "is_size"),
+    "reduction_pipeline": (
+        "k",
+        "num_phases",
+        "total_colors",
+        "rebuild_wall_time_s",
+        "speedup",
+    ),
 }
 
 
@@ -237,26 +382,40 @@ def run(
     smoke: bool = False,
     repeats: int = 3,
     k: int = 4,
+    families: Optional[Sequence[str]] = None,
 ) -> Dict[str, Path]:
-    """Run both benchmarks and write ``BENCH_*.json`` into ``out_dir``.
+    """Run the selected benchmark families and write ``BENCH_*.json`` into ``out_dir``.
 
-    Returns a mapping of benchmark name to the written file path.
+    ``families`` selects a subset of :data:`FAMILIES` (``None`` runs all
+    three).  Returns a mapping of benchmark name to the written file path.
     """
+    selected = tuple(FAMILIES if families is None else families)
+    unknown = [f for f in selected if f not in FAMILIES]
+    if unknown:
+        raise ValueError(f"unknown benchmark families {unknown!r}; known: {FAMILIES}")
     sizes = SMOKE_SIZES if smoke else DEFAULT_SIZES
     directory = Path(out_dir)
     directory.mkdir(parents=True, exist_ok=True)
     written: Dict[str, Path] = {}
-    conflict_records = bench_conflict_graph(sizes=sizes, k=k, repeats=repeats)
-    written["conflict_graph"] = write_payload(
-        directory / CONFLICT_GRAPH_BENCH,
-        make_payload("conflict_graph_build", conflict_records),
-    )
-    maxis_records = bench_maxis(
-        sizes=sizes, k=k, repeats=repeats, include_plain_graphs=not smoke
-    )
-    written["maxis"] = write_payload(
-        directory / MAXIS_BENCH, make_payload("maxis_solve", maxis_records)
-    )
+    if "conflict-graph" in selected:
+        conflict_records = bench_conflict_graph(sizes=sizes, k=k, repeats=repeats)
+        written["conflict_graph"] = write_payload(
+            directory / CONFLICT_GRAPH_BENCH,
+            make_payload("conflict_graph_build", conflict_records),
+        )
+    if "maxis" in selected:
+        maxis_records = bench_maxis(
+            sizes=sizes, k=k, repeats=repeats, include_plain_graphs=not smoke
+        )
+        written["maxis"] = write_payload(
+            directory / MAXIS_BENCH, make_payload("maxis_solve", maxis_records)
+        )
+    if "reduction" in selected:
+        reduction_records = bench_reduction(sizes=sizes, k=k, repeats=repeats)
+        written["reduction"] = write_payload(
+            directory / REDUCTION_BENCH,
+            make_payload("reduction_pipeline", reduction_records),
+        )
     return written
 
 
@@ -269,8 +428,20 @@ def main(argv: Optional[Iterable[str]] = None) -> int:
     parser.add_argument("--smoke", action="store_true", help="smallest workload only")
     parser.add_argument("--repeats", type=int, default=3, help="timing repeats (best-of)")
     parser.add_argument("--palette", type=int, default=4, help="palette size k")
+    parser.add_argument(
+        "families",
+        nargs="*",
+        metavar="family",
+        help=f"benchmark families to run, from {FAMILIES} (default: all)",
+    )
     args = parser.parse_args(list(argv) if argv is not None else None)
-    written = run(out_dir=args.out_dir, smoke=args.smoke, repeats=args.repeats, k=args.palette)
+    written = run(
+        out_dir=args.out_dir,
+        smoke=args.smoke,
+        repeats=args.repeats,
+        k=args.palette,
+        families=args.families or None,
+    )
     for name, path in written.items():
         print(f"{name}: wrote {path}")
     return 0

@@ -87,6 +87,15 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     bench_parser.add_argument("--repeats", type=int, default=3, help="timing repeats (best-of)")
     bench_parser.add_argument("--palette", type=int, default=4, help="palette size k")
+    bench_parser.add_argument(
+        "families",
+        nargs="*",
+        metavar="family",
+        help=(
+            "benchmark families to run: conflict-graph, maxis, reduction "
+            "(default: all three)"
+        ),
+    )
     return parser
 
 
@@ -148,7 +157,11 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     from repro import bench
 
     written = bench.run(
-        out_dir=args.out_dir, smoke=args.smoke, repeats=args.repeats, k=args.palette
+        out_dir=args.out_dir,
+        smoke=args.smoke,
+        repeats=args.repeats,
+        k=args.palette,
+        families=args.families or None,
     )
     for name, path in written.items():
         payload = json.loads(path.read_text())

@@ -25,11 +25,11 @@ independent-set algorithm in :mod:`repro.maxis` applies directly.
 
 from __future__ import annotations
 
-from typing import Dict, Hashable, Iterator, List, NamedTuple, Optional, Set, Tuple
+from typing import Dict, Hashable, Iterable, Iterator, List, NamedTuple, Optional, Set, Tuple
 
 from repro.exceptions import ReductionError
 from repro.graphs.graph import Graph
-from repro.graphs.indexed import IndexedGraph
+from repro.graphs.indexed import IndexedGraph, iter_bits, popcount
 from repro.hypergraph.hypergraph import Hypergraph
 
 Vertex = Hashable
@@ -96,82 +96,105 @@ def classify_conflict_edge(a: ConflictVertex, b: ConflictVertex, hypergraph: Hyp
     return kinds
 
 
-def _build_adjacency(
+def _build_structures(
     hypergraph: Hypergraph, k: int
-) -> Tuple[List[ConflictVertex], List[Set[int]]]:
+) -> Tuple[
+    List[ConflictVertex],
+    List[int],
+    Dict[EdgeId, Tuple[List[Vertex], int]],
+    Dict[Tuple[Vertex, Color], List[int]],
+    Dict[Vertex, List[int]],
+]:
     """Build ``G_k``'s adjacency directly from the three bucket structures.
 
-    Returns ``(triples, rows)`` where ``triples`` is ``V(G_k)`` in the
-    canonical interning order of :func:`conflict_vertices` and ``rows[i]``
-    is the set of neighbor *indices* of triple ``i``.  Each relation is
-    emitted straight into per-vertex integer sets — no pairwise
-    ``frozenset`` dedup, no ``has_edge`` pre-check and no ``repr`` sorting
-    in inner loops (the only sorts are the per-edge member orderings that
-    define the interning table itself):
+    Returns ``(triples, rows, blocks, vc_bucket, by_vertex)`` where
+    ``triples`` is ``V(G_k)`` in the canonical interning order of
+    :func:`conflict_vertices` and ``rows[i]`` is the *bitset* (over triple
+    indices) of the neighbors of triple ``i``.  The bucket structures are
+    returned (not discarded) because :class:`ConflictGraph` keeps them as
+    live state: :meth:`ConflictGraph.remove_hyperedges` maintains them
+    across phases of the reduction.  Each relation is emitted as
+    whole-bucket bitmask ORs — no pairwise ``frozenset`` dedup, no
+    per-element set inserts and no ``repr`` sorting in inner loops (the
+    only sorts are the per-edge member orderings that define the interning
+    table itself):
 
-    * ``E_vertex`` — group triples by hypergraph vertex, link the
-      different-color classes of each group;
+    * ``E_vertex`` — group triples by hypergraph vertex; each ``(v, c)``
+      class links to the rest of its group in one mask OR;
     * ``E_edge`` — each hyperedge's block of ``|e|·k`` consecutive indices
-      forms a clique;
-    * ``E_color`` — for each triple ``(e, v, c)`` and each co-member
-      ``u ∈ e \\ {v}``, link to the ``(·, u, c)`` bucket (the witnessing
-      edge is ``e`` itself; the symmetric witness is added explicitly).
+      forms a clique (one contiguous mask);
+    * ``E_color`` — a triple ``(e, v, c)`` links to the ``(·, u, c)``
+      buckets of its co-members ``u ∈ e \\ {v}`` (the union
+      ``S[e][c] \\ bucket(v, c)``), and symmetrically each ``(·, u, c)``
+      bucket receives the aggregated mask of the witnessing triples, so
+      rows stay symmetric even when only one of the two edges witnesses
+      the relation.
     """
     edge_ids = hypergraph.edge_ids
     triples: List[ConflictVertex] = []
-    rows: List[Set[int]] = []
     # (vertex, color) -> indices of triples (·, vertex, color); insertion is
-    # in canonical order, so the buckets are ascending.
+    # in canonical order, so the buckets are ascending.  The *_mask twins
+    # hold the same sets as bitmasks for the relation emission below.
     vc_bucket: Dict[Tuple[Vertex, Color], List[int]] = {}
+    vc_mask: Dict[Tuple[Vertex, Color], int] = {}
     by_vertex: Dict[Vertex, List[int]] = {}
-    edge_blocks: List[Tuple[List[Vertex], int]] = []  # (sorted members, base index)
+    group_mask: Dict[Vertex, int] = {}
+    # edge id -> (sorted members, base index); insertion is edge_ids order.
+    blocks: Dict[EdgeId, Tuple[List[Vertex], int]] = {}
     for e in edge_ids:
         members = sorted(hypergraph.edge(e), key=repr)
         base = len(triples)
-        edge_blocks.append((members, base))
+        blocks[e] = (members, base)
         for v in members:
             for c in range(1, k + 1):
                 i = len(triples)
+                bit = 1 << i
                 triples.append(ConflictVertex(edge=e, vertex=v, color=c))
-                rows.append(set())
                 vc_bucket.setdefault((v, c), []).append(i)
+                vc_mask[(v, c)] = vc_mask.get((v, c), 0) | bit
                 by_vertex.setdefault(v, []).append(i)
+                group_mask[v] = group_mask.get(v, 0) | bit
 
-    # E_vertex: within each vertex group, link every pair of distinct colors.
-    for v, group in by_vertex.items():
-        group_set = set(group)
-        for c in range(1, k + 1):
-            bucket = vc_bucket[(v, c)]
-            others = group_set.difference(bucket)
-            if not others:
-                continue
+    rows: List[int] = [0] * len(triples)
+
+    # E_vertex: within each vertex group, link every pair of distinct colors
+    # (one OR of "the group minus my color class" per triple).
+    for (v, c), bucket in vc_bucket.items():
+        others = group_mask[v] & ~vc_mask[(v, c)]
+        if others:
             for i in bucket:
                 rows[i] |= others
 
-    # E_edge: each hyperedge's triples form a clique (consecutive indices).
-    for members, base in edge_blocks:
+    for members, base in blocks.values():
         size = len(members) * k
-        block = set(range(base, base + size))
-        for i in block:
-            row = rows[i]
-            row |= block
-            row.discard(i)
+        # E_edge: each hyperedge's triples form a clique (contiguous mask;
+        # the self-bit is cleared in the final pass).
+        block = ((1 << size) - 1) << base
+        # S[c] = all triples (·, u, c) over members u of this edge.
+        for c in range(1, k + 1):
+            s_c = 0
+            edge_color = 0  # the (e, ·, c) triples of this edge itself
+            for pos, u in enumerate(members):
+                s_c |= vc_mask[(u, c)]
+                edge_color |= 1 << (base + pos * k + (c - 1))
+            # E_color, direct side: (e, v, c) links to every (·, u, c) with
+            # u a co-member of e (its own vertex's bucket masked out).
+            for pos, v in enumerate(members):
+                ia = base + pos * k + (c - 1)
+                rows[ia] |= block | (s_c & ~vc_mask[(v, c)])
+            # E_color, symmetric side: every (g, u, c) with u ∈ e receives
+            # the (e, v, c) triples of the other members v ≠ u, covering
+            # witnesses g does not see itself.
+            for pos, u in enumerate(members):
+                incoming = edge_color & ~(1 << (base + pos * k + (c - 1)))
+                if incoming:
+                    for ib in vc_bucket[(u, c)]:
+                        rows[ib] |= incoming
 
-    # E_color: for a = (e, v, c) and u ∈ e with u ≠ v, every b = (g, u, c)
-    # is adjacent to a ({u, v} ⊆ e witnesses the relation); both directions
-    # are recorded so the rows stay symmetric.
-    for members, base in edge_blocks:
-        for pos, v in enumerate(members):
-            for u in members:
-                if u == v:
-                    continue
-                for c in range(1, k + 1):
-                    ia = base + pos * k + (c - 1)
-                    bucket = vc_bucket[(u, c)]
-                    rows[ia].update(bucket)
-                    for ib in bucket:
-                        rows[ib].add(ia)
-    return triples, rows
+    # Clear the self-bits introduced by the E_edge block masks.
+    for i in range(len(rows)):
+        rows[i] &= ~(1 << i)
+    return triples, rows, blocks, vc_bucket, by_vertex
 
 
 def _edge_vertex_pairs(hypergraph: Hypergraph, k: int) -> Iterator[Tuple[ConflictVertex, ConflictVertex]]:
@@ -258,10 +281,25 @@ def legacy_build_graph(hypergraph: Hypergraph, k: int) -> Graph:
 class ConflictGraph:
     """The conflict graph ``G_k`` of conflict-free ``k``-coloring a hypergraph.
 
+    The instance is built once and can then be *maintained* across the
+    phases of the reduction: :meth:`remove_hyperedges` deletes the triples
+    of happy hyperedges (and every conflict edge incident to them) in time
+    proportional to the deleted part, because removing hyperedges never
+    creates new conflicts between surviving triples — ``G^{i+1}_k`` is
+    exactly the induced subgraph of ``G^i_k`` on the surviving triples.
+    Internally the adjacency lives in one immutable
+    :class:`~repro.graphs.indexed.IndexedGraph` snapshot plus an alive
+    bitmask; :meth:`frozen` and :meth:`frozen_sorted` serve alive-mask
+    subgraph views of it, and the mutable :attr:`graph` is materialized
+    lazily from the current view.
+
     Parameters
     ----------
     hypergraph:
-        The instance ``H``.
+        The instance ``H``.  Callers that use :meth:`remove_hyperedges`
+        are expected to mirror the removals on ``hypergraph`` (the
+        reduction's phase loop removes from both); the conflict graph
+        itself never mutates it.
     k:
         The palette size.
 
@@ -269,7 +307,9 @@ class ConflictGraph:
     ----------
     graph:
         The underlying :class:`repro.graphs.Graph` whose vertices are
-        :class:`ConflictVertex` triples.
+        :class:`ConflictVertex` triples (lazily materialized; insertion
+        order is the canonical triple order restricted to the surviving
+        edges).
     """
 
     def __init__(self, hypergraph: Hypergraph, k: int) -> None:
@@ -277,37 +317,207 @@ class ConflictGraph:
             raise ReductionError(f"palette size k must be positive, got {k}")
         self.hypergraph = hypergraph
         self.k = k
-        triples, rows = _build_adjacency(hypergraph, k)
-        self.graph = Graph._from_adjacency_unchecked(
-            {t: {triples[j] for j in rows[i]} for i, t in enumerate(triples)}
-        )
-        self._frozen: Optional["IndexedGraph"] = None
+        triples, rows, blocks, vc_bucket, by_vertex = _build_structures(hypergraph, k)
+        self._triples = triples
+        self._blocks = blocks
+        self._vc_bucket = vc_bucket
+        self._by_vertex = by_vertex
+        self._canonical = IndexedGraph._from_bitsets(triples, rows)
+        self._alive = (1 << len(triples)) - 1
+        self._graph: Optional[Graph] = None
+        self._frozen_view: Optional["IndexedGraph"] = self._canonical
+        # repr-sorted snapshot for the MIS oracles (built on first use).
+        self._sorted_full: Optional["IndexedGraph"] = None
+        self._sorted_alive = 0
+        self._canon_to_sorted: List[int] = []
+        self._sorted_view: Optional["IndexedGraph"] = None
+
+    # ------------------------------------------------------------------
+    # incremental maintenance
+    # ------------------------------------------------------------------
+    def remove_hyperedges(self, edge_ids: Iterable[EdgeId]) -> None:
+        """Delete every triple of the given hyperedges from the conflict graph.
+
+        All conflict edges incident to a deleted triple disappear with it;
+        the ``E_vertex``/``E_edge``/``E_color`` bucket structures and the
+        alive masks of the frozen snapshots are updated in time
+        proportional to the deleted part (plus the size of the touched
+        buckets).  This realizes the phase step ``G^{i+1}_k =
+        G^i_k[surviving triples]``: hyperedge removal never makes two
+        surviving triples adjacent, so the maintained graph equals a
+        from-scratch rebuild on the surviving hypergraph.
+
+        The caller is responsible for removing the same edges from
+        :attr:`hypergraph` (before or after this call).
+
+        Raises
+        ------
+        ReductionError
+            If some edge id is unknown (or already removed); no state is
+            modified in that case.
+        """
+        ids = list(dict.fromkeys(edge_ids))  # dedupe, preserving order
+        unknown = [e for e in ids if e not in self._blocks]
+        if unknown:
+            raise ReductionError(
+                f"edges not in conflict graph: {sorted(unknown, key=repr)!r}"
+            )
+        if not ids:
+            return
+        k = self.k
+        dead_mask = 0
+        dead_ids: List[int] = []
+        touched_vertices: Set[Vertex] = set()
+        for e in ids:
+            members, base = self._blocks.pop(e)
+            size = len(members) * k
+            dead_mask |= ((1 << size) - 1) << base
+            dead_ids.extend(range(base, base + size))
+            touched_vertices.update(members)
+        dead_set = set(dead_ids)
+        for v in touched_vertices:
+            survivors = [i for i in self._by_vertex[v] if i not in dead_set]
+            if survivors:
+                self._by_vertex[v] = survivors
+            else:
+                del self._by_vertex[v]
+            for c in range(1, k + 1):
+                bucket = self._vc_bucket.get((v, c))
+                if bucket is None:
+                    continue
+                kept = [i for i in bucket if i not in dead_set]
+                if kept:
+                    self._vc_bucket[(v, c)] = kept
+                else:
+                    del self._vc_bucket[(v, c)]
+        self._alive &= ~dead_mask
+        self._frozen_view = None
+        self._graph = None
+        if self._sorted_full is not None:
+            sorted_dead = 0
+            perm = self._canon_to_sorted
+            for i in dead_ids:
+                sorted_dead |= 1 << perm[i]
+            self._sorted_alive &= ~sorted_dead
+            self._sorted_view = None
+
+    def _current_frozen(self) -> "IndexedGraph":
+        """The canonical-order frozen graph restricted to the alive triples."""
+        if self._frozen_view is None:
+            self._frozen_view = self._canonical.subgraph_view(self._alive)
+        return self._frozen_view
+
+    @property
+    def graph(self) -> Graph:
+        """The mutable :class:`Graph` over the surviving triples (lazy)."""
+        if self._graph is None:
+            self._graph = self._current_frozen().to_graph()
+        return self._graph
 
     def frozen(self) -> "IndexedGraph":
         """Return (and cache) the conflict graph as an :class:`IndexedGraph`.
 
         The interning table is the canonical triple order of
-        :func:`conflict_vertices`, so ids are stable across calls and runs.
+        :func:`conflict_vertices`; after :meth:`remove_hyperedges` the
+        result is an alive-mask subgraph view of the original snapshot
+        (same table, dead ids masked out), so the frozen form stays valid
+        across deletions without re-interning.
 
-        The cache assumes :class:`ConflictGraph` is treated as immutable
-        (as the whole pipeline does): mutating ``self.graph`` after the
-        first call would leave the cached snapshot stale — call
-        ``self.graph.freeze()`` directly instead if you mutate.
+        The cache assumes the conflict graph is only mutated through
+        :meth:`remove_hyperedges` (as the whole pipeline does): mutating
+        ``self.graph`` directly would leave the cached snapshot stale —
+        call ``self.graph.freeze()`` instead if you do.
         """
-        if self._frozen is None:
-            self._frozen = self.graph.freeze()
-        return self._frozen
+        return self._current_frozen()
+
+    def frozen_sorted(self) -> "IndexedGraph":
+        """Return the surviving conflict graph frozen in ``repr`` order.
+
+        This is the interning order the MIS oracles use
+        (:func:`~repro.graphs.indexed.freeze_sorted`), so handing this
+        view to an approximator reproduces, bit for bit, what the
+        approximator would compute on a freshly rebuilt conflict graph of
+        the surviving hypergraph.  The full snapshot is derived from the
+        canonical one exactly once per :class:`ConflictGraph`; subsequent
+        calls only re-mask.
+        """
+        if self._sorted_full is None:
+            triples = self._triples
+            n = len(triples)
+            order = sorted(range(n), key=lambda i: repr(triples[i]))
+            if order == list(range(n)):
+                # The canonical order already is the repr order (true for
+                # every instance whose labels repr-sort component-wise,
+                # e.g. integer ids) — reuse the snapshot, skip the remap.
+                self._sorted_full = self._canonical
+                self._canon_to_sorted = order
+                self._sorted_alive = self._alive
+            else:
+                self._sorted_full = self._canonical._permuted(order)
+                perm = [0] * n
+                for p, old in enumerate(order):
+                    perm[old] = p
+                self._canon_to_sorted = perm
+                alive = 0
+                if self._alive == (1 << n) - 1:
+                    alive = self._alive
+                else:
+                    for i in iter_bits(self._alive):
+                        alive |= 1 << perm[i]
+                self._sorted_alive = alive
+        if self._sorted_view is None:
+            self._sorted_view = self._sorted_full.subgraph_view(self._sorted_alive)
+        return self._sorted_view
+
+    def verification_graph(self):
+        """The cheapest already-materialized form for independence checks.
+
+        Returns the mutable :attr:`graph` when it has been materialized
+        (so pre-existing callers keep their exact behavior) and the
+        canonical frozen view otherwise — the reduction's phase engine
+        never needs the mutable graph at all.  Either form is accepted by
+        :func:`~repro.graphs.independent_sets.verify_independent_set`.
+        """
+        if self._graph is not None:
+            return self._graph
+        return self._current_frozen()
+
+    def bucket_structure(self) -> Dict[str, Dict]:
+        """Snapshot of the maintained bucket state, keyed by triples.
+
+        Returns the three structures the incremental builder maintains —
+        ``vertex_color`` (the ``(v, c)`` buckets feeding ``E_vertex`` and
+        ``E_color``), ``by_vertex`` (the per-vertex groups of ``E_vertex``)
+        and ``edge_blocks`` (the per-hyperedge cliques of ``E_edge``) —
+        with triple indices resolved to :class:`ConflictVertex` values, so
+        a maintained instance can be compared structurally against a
+        from-scratch rebuild in tests.
+        """
+        t = self._triples
+        k = self.k
+        return {
+            "vertex_color": {
+                key: [t[i] for i in bucket] for key, bucket in self._vc_bucket.items()
+            },
+            "by_vertex": {
+                v: [t[i] for i in group] for v, group in self._by_vertex.items()
+            },
+            "edge_blocks": {
+                e: [t[i] for i in range(base, base + len(members) * k)]
+                for e, (members, base) in self._blocks.items()
+            },
+        }
 
     # ------------------------------------------------------------------
     # size accounting (benchmark E5)
     # ------------------------------------------------------------------
     def num_vertices(self) -> int:
-        """Return ``|V(G_k)| = k · Σ_e |e|``."""
-        return self.graph.num_vertices()
+        """Return ``|V(G_k)| = k · Σ_e |e|`` (over the surviving edges)."""
+        return popcount(self._alive)
 
     def num_edges(self) -> int:
-        """Return ``|E(G_k)|``."""
-        return self.graph.num_edges()
+        """Return ``|E(G_k)|`` (over the surviving edges)."""
+        return self._current_frozen().num_edges()
 
     def expected_num_vertices(self) -> int:
         """The closed-form vertex count ``k · Σ_e |e|`` (cross-check for tests)."""

@@ -21,6 +21,20 @@ Even without that premise the reduction still terminates: the oracle is
 required to return a non-empty independent set on a non-empty conflict
 graph, each selected triple makes its edge happy (Lemma 2.1(b)), so every
 phase removes at least one edge.
+
+Incremental phase engine
+------------------------
+Since a phase only ever *removes* happy edges — and removing hyperedges
+never makes two surviving conflict triples adjacent — the pipeline is
+phase-incremental: :meth:`ConflictFreeMulticoloringViaMaxIS.run` builds
+the conflict graph once, freezes it once (in the oracle's ``repr`` order),
+and per phase hands the oracle an alive-mask subgraph view, then deletes
+the happy edges in place from both the hypergraph and the conflict graph.
+Total work is proportional to what is deleted, not phases × full rebuild.
+The from-scratch path is retained as
+:meth:`ConflictFreeMulticoloringViaMaxIS.run_rebuild`; it produces
+bit-for-bit identical results and serves as the test oracle and the
+benchmark baseline (``repro bench reduction``).
 """
 
 from __future__ import annotations
@@ -37,6 +51,7 @@ from repro.exceptions import ReductionError
 from repro.graphs.graph import Graph
 from repro.hypergraph.hypergraph import Hypergraph
 from repro.hypergraph.operations import remove_happy_edges
+from repro.maxis.approximators import MaxISApproximator
 
 Vertex = Hashable
 PhaseColor = Tuple[int, int]
@@ -196,10 +211,50 @@ class ConflictFreeMulticoloringViaMaxIS:
         self.oracle = _default_oracle(approximator)
         self.max_phases = max_phases
         self.strict = strict
+        # MaxISApproximator instances that opt in via accepts_frozen (every
+        # built-in does) can consume a frozen IndexedGraph, which lets the
+        # incremental engine freeze once per run and pass alive-mask views.
+        # Plain callables and Graph-only approximators keep receiving the
+        # mutable Graph.
+        self._oracle_accepts_frozen = (
+            isinstance(approximator, MaxISApproximator) and approximator.accepts_frozen
+        )
 
     # ------------------------------------------------------------------
     def run(self, hypergraph: Hypergraph) -> ReductionResult:
-        """Execute the reduction on ``hypergraph`` and return a :class:`ReductionResult`."""
+        """Execute the reduction on ``hypergraph`` and return a :class:`ReductionResult`.
+
+        This is the incremental phase engine: the conflict graph of the
+        input is built (and frozen for the oracle) exactly once; each
+        phase solves on an alive-mask subgraph view and then removes the
+        happy edges *in place* from both the working hypergraph and the
+        maintained conflict graph, so the per-phase cost is the oracle
+        solve plus work proportional to the deleted part.  The result is
+        bit-for-bit identical to :meth:`run_rebuild`.
+        """
+        return self._execute(hypergraph, rebuild=False)
+
+    def run_rebuild(self, hypergraph: Hypergraph) -> ReductionResult:
+        """Execute the reduction rebuilding ``H_i`` and ``G^i_k`` from scratch each phase.
+
+        This is the pre-incremental reference path: every phase restricts a
+        fresh hypergraph copy and constructs a new :class:`ConflictGraph`.
+        It is retained as the oracle for equality tests and as the baseline
+        the ``repro bench reduction`` benchmark measures the incremental
+        engine against; its output is identical to :meth:`run`.
+        """
+        return self._execute(hypergraph, rebuild=True)
+
+    # ------------------------------------------------------------------
+    def _execute(self, hypergraph: Hypergraph, rebuild: bool) -> ReductionResult:
+        """Shared phase loop; ``rebuild`` selects how ``G^i_k`` is derived.
+
+        Incremental mode keeps one :class:`ConflictGraph` and removes the
+        happy edges in place; rebuild mode reconstructs hypergraph and
+        conflict graph every phase (the seed behavior).  Everything else —
+        budgets, caps, strictness, record keeping — is identical by
+        construction.
+        """
         m = hypergraph.num_edges()
         rho = phase_budget(self.lam, m)
         budget = color_budget(self.k, self.lam, m)
@@ -208,6 +263,7 @@ class ConflictFreeMulticoloringViaMaxIS:
         multicoloring = Multicoloring()
         phases: List[PhaseRecord] = []
         current = hypergraph.copy()
+        conflict_graph: Optional[ConflictGraph] = None
 
         phase = 0
         while current.num_edges() > 0:
@@ -221,27 +277,22 @@ class ConflictFreeMulticoloringViaMaxIS:
                 raise ReductionError(
                     f"strict mode: phase {phase} exceeds the theoretical budget ρ = {rho}"
                 )
-            record = self._run_phase(current, phase, multicoloring)
+            if rebuild or conflict_graph is None:
+                conflict_graph = ConflictGraph(current, self.k)
+            record = self._run_phase(
+                current, conflict_graph, phase, multicoloring, rebuild=rebuild
+            )
             phases.append(record)
-            current = current.restrict_to_edges(
-                [e for e in current.edge_ids if e not in record.happy_edges]
-            )
-
-        if not phases:
-            # Edgeless input: the empty multicoloring is vacuously conflict-free.
-            phases.append(
-                PhaseRecord(
-                    phase=1,
-                    edges_before=0,
-                    edges_after=0,
-                    independent_set_size=0,
-                    happy_edges=set(),
-                    conflict_graph_vertices=0,
-                    conflict_graph_edges=0,
-                    guaranteed_edges_after=0.0,
+            if rebuild:
+                current = current.restrict_to_edges(
+                    [e for e in current.edge_ids if e not in record.happy_edges]
                 )
-            )
+            else:
+                current.remove_edges(record.happy_edges)
+                conflict_graph.remove_hyperedges(record.happy_edges)
 
+        # Edgeless input: no phase runs and the empty multicoloring is
+        # vacuously conflict-free (remaining_edges_series() is then empty).
         return ReductionResult(
             multicoloring=multicoloring,
             phases=phases,
@@ -253,11 +304,26 @@ class ConflictFreeMulticoloringViaMaxIS:
 
     # ------------------------------------------------------------------
     def _run_phase(
-        self, current: Hypergraph, phase: int, multicoloring: Multicoloring
+        self,
+        current: Hypergraph,
+        conflict_graph: ConflictGraph,
+        phase: int,
+        multicoloring: Multicoloring,
+        rebuild: bool = False,
     ) -> PhaseRecord:
-        """Run one phase on the surviving hypergraph and merge its colors."""
-        conflict_graph = ConflictGraph(current, self.k)
-        independent_set = self.oracle(conflict_graph.graph)
+        """Run one phase on the surviving hypergraph and merge its colors.
+
+        ``conflict_graph`` must be the conflict graph of ``current`` —
+        freshly built in the rebuild path, incrementally maintained in the
+        engine.  The rebuild path hands the oracle the mutable graph (the
+        seed behavior); the engine hands registered approximators the
+        ``repr``-sorted frozen view, which yields the same independent set.
+        """
+        if rebuild or not self._oracle_accepts_frozen:
+            oracle_input = conflict_graph.graph
+        else:
+            oracle_input = conflict_graph.frozen_sorted()
+        independent_set = self.oracle(oracle_input)
         if current.num_edges() > 0 and not independent_set:
             raise ReductionError(
                 f"the MaxIS oracle returned an empty set in phase {phase} although "

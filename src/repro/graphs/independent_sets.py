@@ -12,16 +12,44 @@ from typing import Hashable, Iterable, List, Optional, Sequence, Set
 
 from repro.exceptions import GraphError, IndependenceError
 from repro.graphs.graph import Graph
+from repro.graphs.indexed import IndexedGraph
 
 Vertex = Hashable
 
 
-def verify_independent_set(graph: Graph, candidate: Iterable[Vertex]) -> None:
+def verify_independent_set(graph, candidate: Iterable[Vertex]) -> None:
     """Raise :class:`IndependenceError` unless ``candidate`` is independent in ``graph``.
 
     Both membership of every vertex and pairwise non-adjacency are checked.
+    ``graph`` may be a mutable :class:`Graph` or a frozen
+    :class:`~repro.graphs.indexed.IndexedGraph` (including alive-mask
+    subgraph views); the frozen path checks adjacency with one bitset
+    intersection per candidate.
     """
     vs = list(candidate)
+    if isinstance(graph, IndexedGraph):
+        ids = []
+        mask = 0
+        for v in vs:
+            try:
+                i = graph.index_of(v)
+            except GraphError:
+                raise IndependenceError(
+                    f"vertex {v!r} is not a vertex of the graph"
+                ) from None
+            bit = 1 << i
+            if mask & bit:
+                raise IndependenceError("candidate contains duplicate vertices")
+            mask |= bit
+            ids.append(i)
+        for i in ids:
+            conflict = graph.neighbor_bitset(i) & mask
+            if conflict:
+                j = (conflict & -conflict).bit_length() - 1
+                raise IndependenceError(
+                    f"vertices {graph.label(i)!r} and {graph.label(j)!r} are adjacent"
+                )
+        return
     for v in vs:
         if v not in graph:
             raise IndependenceError(f"vertex {v!r} is not a vertex of the graph")

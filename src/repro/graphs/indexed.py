@@ -28,6 +28,19 @@ alone.
 The structure is immutable by design: algorithms that need to "remove"
 vertices track an ``alive`` bitmask instead of mutating the graph, which is
 both faster and side-effect free.
+
+Alive-mask subgraph views
+-------------------------
+:meth:`IndexedGraph.subgraph_view` lifts that idiom to whole-pipeline
+scope: it returns an :class:`IndexedSubgraph` — an induced-subgraph view
+that shares the parent's interning table, CSR arrays and bitset rows and
+only carries an ``alive`` bitmask.  Construction is O(1) (no re-interning,
+no row copying); all size/degree/adjacency queries answer for the induced
+subgraph.  Views keep the *parent's* integer ids (the id space stays
+sparse), which is exactly what the bitset kernels below want: the kernels
+accept views directly and restrict themselves to the alive ids, so a phase
+of the paper's reduction can shrink the conflict graph without rebuilding
+anything.
 """
 
 from __future__ import annotations
@@ -109,6 +122,73 @@ class IndexedGraph:
     # construction helpers
     # ------------------------------------------------------------------
     @classmethod
+    def _from_bitsets(
+        cls,
+        labels: Sequence[Vertex],
+        bitsets: List[int],
+        num_edges: Optional[int] = None,
+    ) -> "IndexedGraph":
+        """Adopt prebuilt bitset rows without re-validating them (internal).
+
+        The caller guarantees symmetry and loop-freeness.  The CSR arrays
+        are materialized lazily on first :meth:`neighbors` access, so
+        constructing a graph this way is O(n) on top of the rows — the
+        fast path used by the conflict-graph builder and :meth:`_permuted`.
+        """
+        g = cls.__new__(cls)
+        g._labels = tuple(labels)
+        g._index = {v: i for i, v in enumerate(g._labels)}
+        g._indptr = None
+        g._indices = None
+        g._bitsets = bitsets
+        if num_edges is None:
+            num_edges = sum(_popcount(b) for b in bitsets) // 2
+        g._num_edges = num_edges
+        return g
+
+    def _ensure_csr(self) -> None:
+        """Materialize the CSR arrays from the bitset rows (lazy, internal)."""
+        if self._indptr is not None:
+            return
+        indptr = array("l", [0])
+        indices = array("l")
+        for bits in self._bitsets:
+            row = []
+            m = bits
+            while m:
+                low = m & -m
+                row.append(low.bit_length() - 1)
+                m ^= low
+            indices.extend(row)
+            indptr.append(len(indices))
+        self._indptr = indptr
+        self._indices = indices
+
+    def _permuted(self, order: Sequence[int]) -> "IndexedGraph":
+        """Return the same graph re-interned so new id ``p`` is old id ``order[p]``.
+
+        ``order`` must be a permutation of ``range(n)``.  Adjacency is
+        remapped in O(n + m); used to derive a ``repr``-sorted snapshot
+        from an already-frozen graph without a :class:`Graph` round-trip.
+        """
+        n = len(self._labels)
+        perm = [0] * n  # old id -> new id
+        for p, old in enumerate(order):
+            perm[old] = p
+        labels = tuple(self._labels[old] for old in order)
+        old_bits = self._bitsets
+        bitsets: List[int] = []
+        for old in order:
+            m = old_bits[old]
+            bits = 0
+            while m:
+                low = m & -m
+                bits |= 1 << perm[low.bit_length() - 1]
+                m ^= low
+            bitsets.append(bits)
+        return IndexedGraph._from_bitsets(labels, bitsets, self._num_edges)
+
+    @classmethod
     def from_graph(cls, graph, order: Optional[Iterable[Vertex]] = None) -> "IndexedGraph":
         """Intern ``graph`` (a mutable :class:`Graph`); see :meth:`Graph.freeze`."""
         if order is None:
@@ -124,16 +204,32 @@ class IndexedGraph:
         ]
         return cls(labels, rows)
 
-    def to_graph(self):
-        """Materialize a mutable :class:`Graph` with the original labels."""
+    def _materialize_graph(self, ids: Iterable[int], mask: Optional[int]):
+        """Build a mutable :class:`Graph` from the rows of ``ids`` (internal).
+
+        ``mask`` restricts each row (``None`` keeps it whole).  The inlined
+        low-bit loop is deliberate: this conversion is what the rebuild
+        benchmark baseline pays per phase, and the generator form measured
+        ~40% slower.
+        """
         from repro.graphs.graph import Graph
 
         labels = self._labels
-        adj = {
-            labels[i]: {labels[j] for j in self.neighbors(i)}
-            for i in range(len(labels))
-        }
+        bitsets = self._bitsets
+        adj = {}
+        for i in ids:
+            nbrs = set()
+            m = bitsets[i] if mask is None else bitsets[i] & mask
+            while m:
+                low = m & -m
+                nbrs.add(labels[low.bit_length() - 1])
+                m ^= low
+            adj[labels[i]] = nbrs
         return Graph._from_adjacency_unchecked(adj)
+
+    def to_graph(self):
+        """Materialize a mutable :class:`Graph` with the original labels."""
+        return self._materialize_graph(range(len(self._labels)), None)
 
     # ------------------------------------------------------------------
     # queries
@@ -169,11 +265,15 @@ class IndexedGraph:
 
     def degree(self, i: int) -> int:
         """Return the degree of id ``i``."""
+        if self._indptr is None:
+            return _popcount(self._bitsets[i])
         return self._indptr[i + 1] - self._indptr[i]
 
     def degrees(self) -> List[int]:
         """Return the degree of every vertex, indexed by id."""
         indptr = self._indptr
+        if indptr is None:
+            return [_popcount(b) for b in self._bitsets]
         return [indptr[i + 1] - indptr[i] for i in range(len(self._labels))]
 
     def max_degree(self) -> int:
@@ -182,6 +282,7 @@ class IndexedGraph:
 
     def neighbors(self, i: int) -> Sequence[int]:
         """Return the neighbor ids of ``i`` (sorted ascending, no copy of labels)."""
+        self._ensure_csr()
         return self._indices[self._indptr[i]:self._indptr[i + 1]]
 
     def neighbor_bitset(self, i: int) -> int:
@@ -195,6 +296,40 @@ class IndexedGraph:
     def has_edge(self, i: int, j: int) -> bool:
         """Return ``True`` iff ids ``i`` and ``j`` are adjacent."""
         return bool((self._bitsets[i] >> j) & 1)
+
+    def vertex_ids(self) -> Sequence[int]:
+        """Return the live vertex ids in ascending order.
+
+        For a full graph this is simply ``range(n)``; for an
+        :class:`IndexedSubgraph` view it is the ascending list of alive
+        ids.  Kernels and wrappers iterate this instead of ``range(n)`` so
+        they work on both without branching.
+        """
+        return range(len(self._labels))
+
+    def alive_mask(self) -> int:
+        """Return the bitmask of live ids (all-ones for a full graph)."""
+        return (1 << len(self._labels)) - 1
+
+    def subgraph_view(self, alive: int) -> "IndexedGraph":
+        """Return the induced subgraph on the id-bitset ``alive`` as a view.
+
+        The view shares this graph's interning table and adjacency arrays
+        (construction is O(1)); ids are *parent* ids, so masks computed
+        against the parent remain meaningful.  When ``alive`` covers every
+        vertex, ``self`` is returned unchanged.
+
+        Raises
+        ------
+        GraphError
+            If ``alive`` has bits outside ``range(n)``.
+        """
+        full = (1 << len(self._labels)) - 1
+        if alive & ~full:
+            raise GraphError("alive mask has bits outside the vertex-id range")
+        if alive == full:
+            return self
+        return IndexedSubgraph(self, alive)
 
     def labels_for_mask(self, mask: int) -> Set[Vertex]:
         """Translate a bitset over ids back into a set of vertex labels."""
@@ -221,6 +356,170 @@ class IndexedGraph:
         return f"IndexedGraph(n={self.num_vertices()}, m={self.num_edges()})"
 
 
+class IndexedSubgraph(IndexedGraph):
+    """An induced-subgraph *view* of an :class:`IndexedGraph` (alive bitmask).
+
+    The view keeps a reference to the parent's interning table and raw
+    adjacency arrays and adds only an ``alive`` id-bitmask, so creating one
+    is O(1).  Ids are **parent ids**: ``label(i)`` / ``labels()`` answer for
+    the full interning table, while the size, degree, membership and
+    adjacency queries answer for the induced subgraph (dead ids are
+    rejected like unknown vertices).  The relative order of alive ids is
+    the parent's interning order, so a view of a ``repr``-sorted graph is
+    itself ``repr``-sorted — the property the MIS wrappers rely on for
+    bit-for-bit reproducibility.
+
+    Use :meth:`IndexedGraph.subgraph_view` to construct one.
+    """
+
+    __slots__ = ("_parent", "_alive", "_alive_ids", "_alive_edges")
+
+    def __init__(self, parent: IndexedGraph, alive: int) -> None:
+        if isinstance(parent, IndexedSubgraph):  # views compose on the base graph
+            alive &= parent._alive
+            parent = parent._parent
+        self._parent = parent
+        self._alive = alive
+        # Shared, *raw* internals: kernels that pre-filter by id (first-fit
+        # along an alive order, branch-and-bound on an active mask) read
+        # these directly and never see a dead contribution.
+        self._labels = parent._labels
+        self._index = parent._index
+        self._indptr = parent._indptr
+        self._indices = parent._indices
+        self._bitsets = parent._bitsets
+        self._num_edges = parent._num_edges
+        self._alive_ids: Optional[List[int]] = None
+        self._alive_edges: Optional[int] = None
+
+    # -- structure shared with the parent ------------------------------
+    @property
+    def parent(self) -> IndexedGraph:
+        """The full graph this view restricts."""
+        return self._parent
+
+    def alive_mask(self) -> int:
+        """The bitmask of alive ids."""
+        return self._alive
+
+    def vertex_ids(self) -> Sequence[int]:
+        """The alive ids in ascending (parent interning) order."""
+        if self._alive_ids is None:
+            self._alive_ids = list(iter_bits(self._alive))
+        return self._alive_ids
+
+    def subgraph_view(self, alive: int) -> "IndexedGraph":
+        full = (1 << len(self._labels)) - 1
+        if alive & ~full:
+            raise GraphError("alive mask has bits outside the vertex-id range")
+        alive &= self._alive
+        if alive == self._alive:
+            return self
+        return IndexedSubgraph(self._parent, alive)
+
+    # -- induced-subgraph queries --------------------------------------
+    def num_vertices(self) -> int:
+        return _popcount(self._alive)
+
+    def num_edges(self) -> int:
+        if self._alive_edges is None:
+            alive = self._alive
+            bitsets = self._bitsets
+            self._alive_edges = (
+                sum(_popcount(bitsets[i] & alive) for i in self.vertex_ids()) // 2
+            )
+        return self._alive_edges
+
+    def _check_alive(self, i: int) -> None:
+        if not (self._alive >> i) & 1:
+            raise GraphError(f"vertex id {i} is not alive in this view")
+
+    def degree(self, i: int) -> int:
+        self._check_alive(i)
+        return _popcount(self._bitsets[i] & self._alive)
+
+    def degrees(self) -> List[int]:
+        """Masked degree for every parent id (dead ids report 0).
+
+        Keeps the base-class "indexed by id" contract so ``degrees()[i]``
+        is meaningful for any alive id regardless of which representation
+        the caller holds; like :meth:`bitsets`, dead ids read as empty.
+        """
+        alive = self._alive
+        bitsets = self._bitsets
+        return [
+            _popcount(row & alive) if (alive >> i) & 1 else 0
+            for i, row in enumerate(bitsets)
+        ]
+
+    def max_degree(self) -> int:
+        alive = self._alive
+        bitsets = self._bitsets
+        return max(
+            (_popcount(bitsets[i] & alive) for i in self.vertex_ids()), default=0
+        )
+
+    def neighbors(self, i: int) -> Sequence[int]:
+        self._check_alive(i)
+        return list(iter_bits(self._bitsets[i] & self._alive))
+
+    def neighbor_bitset(self, i: int) -> int:
+        self._check_alive(i)
+        return self._bitsets[i] & self._alive
+
+    def bitsets(self) -> List[int]:
+        """Masked rows for every parent id (dead rows are 0)."""
+        alive = self._alive
+        return [
+            row & alive if (alive >> i) & 1 else 0
+            for i, row in enumerate(self._bitsets)
+        ]
+
+    def has_edge(self, i: int, j: int) -> bool:
+        alive = self._alive
+        if not ((alive >> i) & 1 and (alive >> j) & 1):
+            return False
+        return bool((self._bitsets[i] >> j) & 1)
+
+    def index_of(self, label: Vertex) -> int:
+        i = self._parent.index_of(label)
+        if not (self._alive >> i) & 1:
+            raise GraphError(f"vertex {label!r} not in graph")
+        return i
+
+    def to_graph(self):
+        """Materialize the induced subgraph as a mutable :class:`Graph`.
+
+        Insertion order is the alive subsequence of the parent's interning
+        order, matching what freezing a from-scratch rebuild would produce.
+        """
+        return self._materialize_graph(self.vertex_ids(), self._alive)
+
+    def __len__(self) -> int:
+        return _popcount(self._alive)
+
+    def __iter__(self) -> Iterator[Vertex]:
+        labels = self._labels
+        return (labels[i] for i in self.vertex_ids())
+
+    def __contains__(self, label: Vertex) -> bool:
+        i = self._parent._index.get(label)
+        return i is not None and bool((self._alive >> i) & 1)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"IndexedSubgraph(n={self.num_vertices()}/{len(self._labels)}, "
+            f"m={self.num_edges()})"
+        )
+
+
+def _base_and_mask(graph: IndexedGraph) -> Tuple[IndexedGraph, Optional[int]]:
+    """Split ``graph`` into (full base graph, alive mask or None) for kernels."""
+    if isinstance(graph, IndexedSubgraph):
+        return graph._parent, graph._alive
+    return graph, None
+
+
 def freeze_sorted(graph) -> "IndexedGraph":
     """Freeze a :class:`Graph` with vertices interned in ``repr`` order.
 
@@ -242,6 +541,10 @@ def first_fit_mis_ids(graph: IndexedGraph, order: Iterable[int]) -> List[int]:
 
     The bitset formulation of the locality-1 SLOCAL algorithm: a vertex
     joins iff none of its already-processed neighbors joined.
+
+    Views work unchanged: with ``order`` drawn from the view's alive ids
+    (:meth:`IndexedGraph.vertex_ids`) the raw parent rows are safe because
+    the selected mask only ever contains processed — hence alive — ids.
     """
     bitsets = graph._bitsets
     selected_mask = 0
@@ -263,19 +566,38 @@ def min_degree_greedy_ids(graph: IndexedGraph) -> List[int]:
     O(n) min-scan per selection of the reference implementation.  With
     labels interned in ``sorted(..., key=repr)`` order this reproduces the
     reference tie-breaking ``(degree, repr)`` exactly.
+
+    Accepts an :class:`IndexedSubgraph` view: the selection then runs on
+    the induced subgraph (masked initial degrees, dead ids never enter the
+    queue) and returns parent ids, matching what a from-scratch rebuild of
+    the subgraph would select.
     """
-    n = graph.num_vertices()
+    base, mask = _base_and_mask(graph)
+    n = base.num_vertices()
     if n == 0:
         return []
-    deg = graph.degrees()
-    buckets: List[Set[int]] = [set() for _ in range(max(deg) + 1)]
-    for i, d in enumerate(deg):
-        buckets[d].add(i)
-    alive = bytearray([1]) * n
-    remaining = n
+    if mask is None:
+        deg = base.degrees()
+        ids: Sequence[int] = range(n)
+        alive = bytearray([1]) * n
+        remaining = n
+    else:
+        bitsets = base._bitsets
+        ids = list(iter_bits(mask))
+        if not ids:
+            return []
+        deg = [0] * n
+        alive = bytearray(n)
+        for i in ids:
+            deg[i] = _popcount(bitsets[i] & mask)
+            alive[i] = 1
+        remaining = len(ids)
+    buckets: List[Set[int]] = [set() for _ in range(max(deg[i] for i in ids) + 1)]
+    for i in ids:
+        buckets[deg[i]].add(i)
     min_deg = 0
     chosen: List[int] = []
-    neighbors = graph.neighbors
+    neighbors = base.neighbors
     while remaining:
         while not buckets[min_deg]:
             min_deg += 1
@@ -312,8 +634,13 @@ def maximum_independent_set_mask(graph: IndexedGraph) -> int:
     degree-0/1 vertices taken greedily — the same search tree as the
     reference solver in :mod:`repro.graphs.independent_sets`, but with the
     active set, the memo keys and all neighborhood algebra on bitsets.
+
+    Accepts an :class:`IndexedSubgraph` view, in which case the search
+    starts from the view's alive mask and the returned bitset is over
+    parent ids.
     """
-    adj = graph._bitsets
+    base, mask = _base_and_mask(graph)
+    adj = base._bitsets
     memo: Dict[int, int] = {}
 
     def solve(active: int) -> int:
@@ -349,4 +676,5 @@ def maximum_independent_set_mask(graph: IndexedGraph) -> int:
         memo[active] = result
         return result
 
-    return solve((1 << graph.num_vertices()) - 1)
+    full = (1 << base.num_vertices()) - 1
+    return solve(full if mask is None else mask)

@@ -48,6 +48,13 @@ class Hypergraph:
         self._edges: Dict[EdgeId, FrozenSet[Vertex]] = {}
         self._incidence: Dict[Vertex, Set[EdgeId]] = {}
         self._next_auto_id = 0
+        # Incremental bookkeeping: the sorted edge-id list is cached until the
+        # edge *family* changes (shrinking an edge in place keeps it valid),
+        # Σ|e| is a running counter, and the edge-size histogram serves
+        # rank()/min_edge_size() without scanning the edge family.
+        self._edge_ids_cache: Optional[List[EdgeId]] = None
+        self._total_edge_size: int = 0
+        self._size_hist: Dict[int, int] = {}
         for v in vertices:
             self.add_vertex(v)
         for item in edges:
@@ -61,6 +68,23 @@ class Hypergraph:
                 self.add_edge(members, edge_id=edge_id)
             else:
                 self.add_edge(item)
+
+    # ------------------------------------------------------------------
+    # incremental bookkeeping
+    # ------------------------------------------------------------------
+    def _size_added(self, size: int) -> None:
+        """Record a new (or regrown) edge of ``size`` members."""
+        self._total_edge_size += size
+        self._size_hist[size] = self._size_hist.get(size, 0) + 1
+
+    def _size_dropped(self, size: int) -> None:
+        """Forget one edge that had ``size`` members."""
+        self._total_edge_size -= size
+        count = self._size_hist[size] - 1
+        if count:
+            self._size_hist[size] = count
+        else:
+            del self._size_hist[size]
 
     # ------------------------------------------------------------------
     # construction
@@ -101,6 +125,8 @@ class Hypergraph:
         self._edges[edge_id] = member_set
         for v in member_set:
             self._incidence[v].add(edge_id)
+        self._size_added(len(member_set))
+        self._edge_ids_cache = None
         return edge_id
 
     def remove_edge(self, edge_id: EdgeId) -> None:
@@ -115,7 +141,9 @@ class Hypergraph:
             raise HypergraphError(f"edge id {edge_id!r} not in hypergraph")
         for v in self._edges[edge_id]:
             self._incidence[v].discard(edge_id)
+        self._size_dropped(len(self._edges[edge_id]))
         del self._edges[edge_id]
+        self._edge_ids_cache = None
 
     def remove_edges(self, edge_ids: Iterable[EdgeId]) -> None:
         """Remove every hyperedge in ``edge_ids``."""
@@ -125,7 +153,9 @@ class Hypergraph:
     def remove_vertex(self, v: Vertex) -> None:
         """Remove vertex ``v`` from the vertex set and from every edge.
 
-        Edges that would become empty are removed entirely.
+        Incident edges are shrunk in place (their ids, and the incidence
+        sets of their other members, are untouched); edges that would
+        become empty are removed entirely.
 
         Raises
         ------
@@ -136,9 +166,12 @@ class Hypergraph:
             raise HypergraphError(f"vertex {v!r} not in hypergraph")
         for e in list(self._incidence[v]):
             shrunk = self._edges[e] - {v}
-            self.remove_edge(e)
             if shrunk:
-                self.add_edge(shrunk, edge_id=e)
+                self._edges[e] = shrunk
+                self._size_dropped(len(shrunk) + 1)
+                self._size_added(len(shrunk))
+            else:
+                self.remove_edge(e)
         self._vertices.discard(v)
         del self._incidence[v]
 
@@ -152,8 +185,16 @@ class Hypergraph:
 
     @property
     def edge_ids(self) -> List[EdgeId]:
-        """The list of hyperedge identifiers (sorted by ``repr`` for determinism)."""
-        return sorted(self._edges, key=repr)
+        """The list of hyperedge identifiers (sorted by ``repr`` for determinism).
+
+        The sorted order is computed once and cached until an edge is added
+        or removed, so the per-phase scans of the reduction pay O(m) per
+        access instead of O(m log m).  A fresh list is returned each time;
+        callers may mutate it freely.
+        """
+        if self._edge_ids_cache is None:
+            self._edge_ids_cache = sorted(self._edges, key=repr)
+        return list(self._edge_ids_cache)
 
     def edge(self, edge_id: EdgeId) -> FrozenSet[Vertex]:
         """Return the member set of hyperedge ``edge_id``."""
@@ -197,20 +238,28 @@ class Hypergraph:
         return len(self._edges)
 
     def rank(self) -> int:
-        """Return the maximum hyperedge size (0 for edgeless hypergraphs)."""
-        if not self._edges:
+        """Return the maximum hyperedge size (0 for edgeless hypergraphs).
+
+        Served from the incrementally maintained size histogram: O(number
+        of distinct edge sizes), not O(m).
+        """
+        if not self._size_hist:
             return 0
-        return max(len(members) for members in self._edges.values())
+        return max(self._size_hist)
 
     def min_edge_size(self) -> int:
-        """Return the minimum hyperedge size (0 for edgeless hypergraphs)."""
-        if not self._edges:
+        """Return the minimum hyperedge size (0 for edgeless hypergraphs).
+
+        Served from the incrementally maintained size histogram, like
+        :meth:`rank`.
+        """
+        if not self._size_hist:
             return 0
-        return min(len(members) for members in self._edges.values())
+        return min(self._size_hist)
 
     def total_edge_size(self) -> int:
-        """Return ``Σ_e |e|`` — the number of incidences."""
-        return sum(len(members) for members in self._edges.values())
+        """Return ``Σ_e |e|`` — the number of incidences (O(1), counter-maintained)."""
+        return self._total_edge_size
 
     def neighbors(self, v: Vertex) -> Set[Vertex]:
         """Return all vertices that co-occur with ``v`` in some hyperedge."""

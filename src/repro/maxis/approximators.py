@@ -30,7 +30,20 @@ class MaxISApproximator:
     name:
         Registry key / display name.
     solve:
-        ``solve(graph) -> set_of_vertices``.
+        ``solve(graph) -> set_of_vertices``.  Receives a mutable
+        :class:`Graph` by default; see ``accepts_frozen``.
+    accepts_frozen:
+        Whether ``solve`` also handles frozen
+        :class:`~repro.graphs.indexed.IndexedGraph` inputs (including
+        alive-mask subgraph views).  The reduction's phase engine freezes
+        the conflict graph once per run and hands such approximators views
+        instead of re-materializing the mutable graph per phase — the
+        indexed fast path.  Defaults to ``False`` so custom approximators
+        written against the mutable-:class:`Graph` interface keep working
+        unchanged (they get the mutable conflict graph, at rebuild-path
+        speed); every built-in opts in, and deterministic built-ins return
+        the same set on both representations when the frozen input is
+        interned in ``repr`` order.
     guarantee:
         Callable mapping a graph to the approximation factor λ the
         algorithm guarantees on that graph (``None`` when no worst-case
@@ -43,6 +56,7 @@ class MaxISApproximator:
     solve: Callable[[Graph], Set[Vertex]]
     guarantee: Optional[Callable[[Graph], float]] = None
     description: str = ""
+    accepts_frozen: bool = False
 
     def __call__(self, graph: Graph) -> Set[Vertex]:
         """Run the approximator and verify that its output is independent."""

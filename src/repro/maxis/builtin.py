@@ -20,6 +20,7 @@ register_approximator(
         name="exact",
         solve=lambda g: exact_maximum_independent_set(g, size_limit=None),
         guarantee=lambda g: 1.0,
+        accepts_frozen=True,
         description="Exact branch-and-bound (λ = 1); exponential worst case.",
     )
 )
@@ -29,6 +30,7 @@ register_approximator(
         name="greedy-min-degree",
         solve=min_degree_greedy,
         guarantee=turan_guarantee,
+        accepts_frozen=True,
         description="Minimum-degree greedy; Turán-type (Δ+1)-approximation.",
     )
 )
@@ -38,6 +40,7 @@ register_approximator(
         name="greedy-first-fit",
         solve=first_fit_greedy,
         guarantee=turan_guarantee,
+        accepts_frozen=True,
         description="First-fit maximal IS along a fixed order; (Δ+1)-approximation.",
     )
 )
@@ -47,6 +50,7 @@ register_approximator(
         name="luby-best-of-5",
         solve=lambda g: luby_based_approximation(g, seed=0, trials=5),
         guarantee=turan_guarantee,
+        accepts_frozen=True,
         description="Largest of 5 random-order maximal independent sets.",
     )
 )
@@ -56,6 +60,7 @@ register_approximator(
         name="clique-cover",
         solve=clique_cover_approximation,
         guarantee=turan_guarantee,
+        accepts_frozen=True,
         description="One representative per greedy clique-cover class.",
     )
 )

@@ -13,7 +13,10 @@ Both algorithms here are the production ports running on a frozen
 are auto-frozen in ``repr`` order, which reproduces the reference
 implementations in :mod:`repro.graphs.independent_sets` bit-for-bit):
 min-degree greedy uses a bucket queue instead of an O(n) min-scan per
-selection, first-fit uses bitset neighborhood tests.
+selection, first-fit uses bitset neighborhood tests.  Alive-mask subgraph
+views (:meth:`IndexedGraph.subgraph_view`) are accepted directly — the
+reduction's phase loop passes them to avoid re-freezing per phase — and
+produce exactly what a from-scratch rebuild of the subgraph would.
 """
 
 from __future__ import annotations
@@ -40,7 +43,7 @@ def min_degree_greedy(graph: Union[Graph, IndexedGraph]) -> Set[Vertex]:
 def first_fit_greedy(graph: Union[Graph, IndexedGraph]) -> Set[Vertex]:
     """Return the maximal independent set found by first-fit (sorted order) greedy."""
     frozen = freeze_sorted(graph)
-    return {frozen.label(i) for i in first_fit_mis_ids(frozen, range(len(frozen)))}
+    return {frozen.label(i) for i in first_fit_mis_ids(frozen, frozen.vertex_ids())}
 
 
 def turan_guarantee(graph: Union[Graph, IndexedGraph]) -> float:

@@ -13,22 +13,53 @@ one triple per hyperedge clique mirrors the structure of Lemma 2.1(a).
 
 from __future__ import annotations
 
-from typing import Dict, Hashable, List, Set
+from typing import Dict, Hashable, List, Set, Union
 
 from repro.graphs.graph import Graph
 from repro.graphs.independent_sets import verify_independent_set
+from repro.graphs.indexed import IndexedGraph, iter_bits
 
 Vertex = Hashable
 
 
-def greedy_clique_cover(graph: Graph) -> List[Set[Vertex]]:
+def _greedy_clique_cover_masks(frozen: IndexedGraph) -> List[int]:
+    """Greedy clique cover over a frozen graph, as id-bitsets (internal).
+
+    Visits ids ascending — with a ``repr``-sorted interning (or an
+    alive-mask view of one) this is the same vertex order as the mutable
+    :func:`greedy_clique_cover` — and tests "clique ⊆ N(v)" with a single
+    ``mask & ~row`` per clique.  Raw parent rows are safe for views because
+    cliques only ever contain alive ids.
+    """
+    bitsets = frozen._bitsets
+    cliques: List[int] = []
+    for v in frozen.vertex_ids():
+        nb = bitsets[v]
+        bit = 1 << v
+        for idx, clique in enumerate(cliques):
+            if not clique & ~nb:
+                cliques[idx] = clique | bit
+                break
+        else:
+            cliques.append(bit)
+    return cliques
+
+
+def greedy_clique_cover(graph: Union[Graph, IndexedGraph]) -> List[Set[Vertex]]:
     """Partition the vertex set into cliques greedily.
 
     Processes vertices in deterministic order and adds each vertex to the
     first existing clique it is fully adjacent to, opening a new clique
     otherwise.  Always returns a partition (every vertex in exactly one
     clique); the number of cliques upper-bounds α(G)'s trivial certificate.
+
+    Frozen :class:`IndexedGraph` inputs (including alive-mask subgraph
+    views) run on the bitset port; vertex order is then the interned id
+    order, which coincides with the ``repr`` order used for mutable graphs
+    whenever the input was frozen with :func:`~repro.graphs.indexed.freeze_sorted`.
     """
+    if isinstance(graph, IndexedGraph):
+        return [graph.labels_for_mask(m) for m in _greedy_clique_cover_masks(graph)]
     cliques: List[Set[Vertex]] = []
     for v in sorted(graph.vertices, key=repr):
         placed = False
@@ -43,7 +74,7 @@ def greedy_clique_cover(graph: Graph) -> List[Set[Vertex]]:
     return cliques
 
 
-def clique_cover_approximation(graph: Graph) -> Set[Vertex]:
+def clique_cover_approximation(graph: Union[Graph, IndexedGraph]) -> Set[Vertex]:
     """Independent set built by picking mutually non-adjacent clique representatives.
 
     Iterates over the cliques of a greedy clique cover and selects, from
@@ -51,6 +82,17 @@ def clique_cover_approximation(graph: Graph) -> Set[Vertex]:
     chosen so far (if one exists).  The result is a maximal-within-structure
     independent set of size at least ``(#cliques) / (Δ + 1)``.
     """
+    if isinstance(graph, IndexedGraph):
+        bitsets = graph._bitsets
+        selected = 0
+        for clique in _greedy_clique_cover_masks(graph):
+            for v in iter_bits(clique):
+                if not bitsets[v] & selected:
+                    selected |= 1 << v
+                    break
+        result = graph.labels_for_mask(selected)
+        verify_independent_set(graph, result)
+        return result
     representatives: Set[Vertex] = set()
     for clique in greedy_clique_cover(graph):
         for v in sorted(clique, key=repr):

@@ -34,11 +34,14 @@ def _rng(seed: Optional[Union[int, random.Random]]) -> random.Random:
 def _one_random_trial(frozen: IndexedGraph, rng: random.Random) -> List[int]:
     """One maximal IS (as ids) along a uniformly random id permutation.
 
-    Shuffling ``[0, n)`` with ids interned in ``repr`` order consumes the
-    same RNG stream and visits the same vertex sequence as the reference
-    implementation, which shuffled the ``repr``-sorted label list.
+    Shuffling the live-id list with ids interned in ``repr`` order consumes
+    the same RNG stream and visits the same vertex sequence as the
+    reference implementation, which shuffled the ``repr``-sorted label
+    list.  For an alive-mask view the list holds the alive parent ids, so
+    the stream (a permutation of ``len(frozen)`` positions) — and hence the
+    result — matches a from-scratch rebuild of the subgraph.
     """
-    order = list(range(len(frozen)))
+    order = list(frozen.vertex_ids())
     rng.shuffle(order)
     return first_fit_mis_ids(frozen, order)
 

@@ -18,11 +18,12 @@ def smoke_run(tmp_path_factory):
 
 
 class TestHarness:
-    def test_writes_both_files(self, smoke_run):
+    def test_writes_all_files(self, smoke_run):
         out, written = smoke_run
         assert (out / bench.CONFLICT_GRAPH_BENCH).is_file()
         assert (out / bench.MAXIS_BENCH).is_file()
-        assert set(written) == {"conflict_graph", "maxis"}
+        assert (out / bench.REDUCTION_BENCH).is_file()
+        assert set(written) == {"conflict_graph", "maxis", "reduction"}
 
     def test_conflict_graph_payload_schema(self, smoke_run):
         out, _ = smoke_run
@@ -47,6 +48,36 @@ class TestHarness:
         for record in payload["records"]:
             assert record["is_size"] > 0
             assert record["n"] == record["peak_triples"]  # conflict-graph workloads
+
+    def test_reduction_payload_schema(self, smoke_run):
+        out, _ = smoke_run
+        payload = json.loads((out / bench.REDUCTION_BENCH).read_text())
+        bench.validate_bench_payload(payload)
+        assert payload["benchmark"] == "reduction_pipeline"
+        oracles = {r["oracle"] for r in payload["records"]}
+        assert f"first-fit@1/{bench.REDUCTION_LAM:g}" in oracles
+        for record in payload["records"]:
+            assert record["num_phases"] >= 1
+            assert record["total_colors"] >= 1
+            assert record["rebuild_wall_time_s"] >= 0
+            assert record["speedup"] is None or record["speedup"] > 0
+        capped = [r for r in payload["records"] if "@" in r["oracle"]]
+        full = [r for r in payload["records"] if "@" not in r["oracle"]]
+        # The λ-capped regime needs strictly more phases than full strength.
+        assert min(r["num_phases"] for r in capped) >= max(r["num_phases"] for r in full)
+
+    def test_run_rejects_unknown_family(self, tmp_path):
+        with pytest.raises(ValueError):
+            bench.run(out_dir=str(tmp_path), smoke=True, families=["nope"])
+
+    def test_run_family_subset(self, tmp_path):
+        written = bench.run(
+            out_dir=str(tmp_path), smoke=True, repeats=1, families=["reduction"]
+        )
+        assert set(written) == {"reduction"}
+        assert not (tmp_path / bench.CONFLICT_GRAPH_BENCH).exists()
+        payload = json.loads((tmp_path / bench.REDUCTION_BENCH).read_text())
+        bench.validate_bench_payload(payload)
 
     def test_validate_rejects_malformed_payloads(self):
         with pytest.raises(ValueError):
