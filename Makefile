@@ -6,10 +6,17 @@ export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
 SMOKE_DIR := .bench-smoke
 
-.PHONY: test bench bench-smoke check install clean
+.PHONY: test bench bench-smoke coverage check install clean
 
 test:
 	$(PYTHON) -m pytest -x -q
+
+# Line-coverage gate over src/repro/{core,maxis,graphs} (fail-under floor
+# lives in scripts/coverage.py; uses pytest-cov when installed, stdlib
+# trace otherwise).  Runs the full test suite itself, so `check` does not
+# also need the plain `test` target.
+coverage:
+	$(PYTHON) scripts/coverage.py
 
 bench:
 	$(PYTHON) -m repro bench --out-dir .
@@ -18,7 +25,7 @@ bench-smoke:
 	$(PYTHON) -m repro bench --smoke --out-dir $(SMOKE_DIR) --repeats 1
 	$(PYTHON) scripts/validate_bench.py $(SMOKE_DIR)/BENCH_conflict_graph.json $(SMOKE_DIR)/BENCH_maxis.json $(SMOKE_DIR)/BENCH_reduction.json
 
-check: test bench-smoke
+check: coverage bench-smoke
 
 # pip's PEP-517 editable path needs the `wheel` package; fall back to the
 # legacy develop install on environments that ship setuptools without it.

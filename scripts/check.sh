@@ -7,8 +7,17 @@ cd "$(dirname "$0")/.."
 
 export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
 
-echo "== tier-1 tests =="
-python -m pytest -x -q
+# The coverage gate runs the full suite itself (propagating pytest's exit
+# code) and then enforces the line-coverage floor over
+# src/repro/{core,maxis,graphs} — so tests run once, not twice.
+# SKIP_COVERAGE=1 falls back to the plain (faster) tier-1 run.
+if [ "${SKIP_COVERAGE:-0}" = "1" ]; then
+    echo "== tier-1 tests (coverage skipped: SKIP_COVERAGE=1) =="
+    python -m pytest -x -q
+else
+    echo "== tier-1 tests + coverage gate =="
+    python scripts/coverage.py
+fi
 
 echo "== bench smoke =="
 python -m repro bench --smoke --out-dir .bench-smoke --repeats 1

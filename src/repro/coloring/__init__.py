@@ -5,6 +5,7 @@ from repro.coloring.conflict_free import (
     color_of,
     colors_used,
     happy_edges,
+    happy_edges_incident,
     is_conflict_free,
     is_happy,
     num_colors_used,
@@ -39,6 +40,7 @@ __all__ = [
     "color_of",
     "colors_used",
     "happy_edges",
+    "happy_edges_incident",
     "is_conflict_free",
     "is_happy",
     "num_colors_used",

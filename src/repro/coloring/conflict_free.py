@@ -58,17 +58,71 @@ def happy_edges(hypergraph: Hypergraph, coloring: Dict[Vertex, Color]) -> Set:
     return {e for e in hypergraph.edge_ids if is_happy(hypergraph, coloring, e)}
 
 
-def unhappy_edges(hypergraph: Hypergraph, coloring: Dict[Vertex, Color]) -> Set:
-    """Return the set of edge ids that are *not* happy under ``coloring``."""
-    return set(hypergraph.edge_ids) - happy_edges(hypergraph, coloring)
+def happy_from_incidence(coloring: Dict[Vertex, Color], incident_of) -> Set:
+    """Happy edges of a partial coloring, driven by an incident-edge lookup.
+
+    ``incident_of(v)`` yields the ids of the edges containing ``v``.  Per
+    colored vertex the color-census of its incident edges is bumped, then
+    every *touched* edge is classified from its census — an edge is happy
+    iff some color appears on exactly one of its members, and an edge no
+    colored vertex touches cannot be happy.  This single kernel backs both
+    :func:`happy_edges_incident` and the phase loop's stateful
+    :class:`repro.core.happiness.HappinessTracker`, so the happiness rule
+    cannot diverge between them.
+    """
+    census: Dict = {}
+    for v, c in coloring.items():
+        if c is UNCOLORED:
+            continue
+        for e in incident_of(v):
+            counts = census.get(e)
+            if counts is None:
+                counts = census[e] = {}
+            counts[c] = counts.get(c, 0) + 1
+    return {e for e, counts in census.items() if 1 in counts.values()}
 
 
-def is_conflict_free(hypergraph: Hypergraph, coloring: Dict[Vertex, Color]) -> bool:
+def happy_edges_incident(hypergraph: Hypergraph, coloring: Dict[Vertex, Color]) -> Set:
+    """Return the happy edges by scanning only edges *incident to colored vertices*.
+
+    Equal to :func:`happy_edges` for every input, but the cost is
+    ``O(Σ_{v colored} deg(v))`` instead of a full pass over the edge
+    family; colored non-vertices are ignored (a partial coloring may
+    mention vertices the hypergraph no longer has).
+    """
+    return happy_from_incidence(
+        coloring,
+        lambda v: hypergraph.edges_containing(v) if hypergraph.has_vertex(v) else (),
+    )
+
+
+def unhappy_edges(
+    hypergraph: Hypergraph,
+    coloring: Dict[Vertex, Color],
+    happy: Optional[Set] = None,
+) -> Set:
+    """Return the set of edge ids that are *not* happy under ``coloring``.
+
+    ``happy`` may carry a precomputed :func:`happy_edges` result so callers
+    that need both sides of the partition compute the census only once.
+    """
+    if happy is None:
+        happy = happy_edges(hypergraph, coloring)
+    return set(hypergraph.edge_ids) - happy
+
+
+def is_conflict_free(
+    hypergraph: Hypergraph,
+    coloring: Dict[Vertex, Color],
+    happy: Optional[Set] = None,
+) -> bool:
     """Return ``True`` if every hyperedge is happy under ``coloring``.
 
-    The coloring may be partial; only happiness matters.
+    The coloring may be partial; only happiness matters.  ``happy``
+    optionally short-circuits the computation with a precomputed
+    :func:`happy_edges` result.
     """
-    return not unhappy_edges(hypergraph, coloring)
+    return not unhappy_edges(hypergraph, coloring, happy=happy)
 
 
 def verify_conflict_free_coloring(
@@ -108,7 +162,7 @@ def verify_conflict_free_coloring(
         used = {c for c in coloring.values() if c is not UNCOLORED}
         if len(used) > k:
             raise ColoringError(f"coloring uses {len(used)} colors, more than k = {k}")
-    bad = unhappy_edges(hypergraph, coloring)
+    bad = unhappy_edges(hypergraph, coloring, happy=happy_edges_incident(hypergraph, coloring))
     if bad:
         example = next(iter(bad))
         raise ColoringError(

@@ -17,6 +17,7 @@ from repro.core.correspondence import (
     verify_lemma_21a,
     verify_lemma_21b,
 )
+from repro.core.happiness import HappinessTracker
 from repro.core.reduction import (
     ConflictFreeMulticoloringViaMaxIS,
     PhaseRecord,
@@ -55,6 +56,7 @@ __all__ = [
     "verify_lemma_21a",
     "verify_lemma_21b",
     "ConflictFreeMulticoloringViaMaxIS",
+    "HappinessTracker",
     "PhaseRecord",
     "ReductionResult",
     "solve_conflict_free_multicoloring",

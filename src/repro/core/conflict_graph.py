@@ -104,10 +104,11 @@ def _build_structures(
     Dict[EdgeId, Tuple[List[Vertex], int]],
     Dict[Tuple[Vertex, Color], List[int]],
     Dict[Vertex, List[int]],
+    int,
 ]:
     """Build ``G_k``'s adjacency directly from the three bucket structures.
 
-    Returns ``(triples, rows, blocks, vc_bucket, by_vertex)`` where
+    Returns ``(triples, rows, blocks, vc_bucket, by_vertex, num_edges)`` where
     ``triples`` is ``V(G_k)`` in the canonical interning order of
     :func:`conflict_vertices` and ``rows[i]`` is the *bitset* (over triple
     indices) of the neighbors of triple ``i``.  The bucket structures are
@@ -141,19 +142,32 @@ def _build_structures(
     group_mask: Dict[Vertex, int] = {}
     # edge id -> (sorted members, base index); insertion is edge_ids order.
     blocks: Dict[EdgeId, Tuple[List[Vertex], int]] = {}
+    append_triple = triples.append
+    colors = range(1, k + 1)
     for e in edge_ids:
         members = sorted(hypergraph.edge(e), key=repr)
         base = len(triples)
         blocks[e] = (members, base)
         for v in members:
-            for c in range(1, k + 1):
+            group = by_vertex.get(v)
+            if group is None:
+                group = by_vertex[v] = []
+            gm = group_mask.get(v, 0)
+            for c in colors:
                 i = len(triples)
                 bit = 1 << i
-                triples.append(ConflictVertex(edge=e, vertex=v, color=c))
-                vc_bucket.setdefault((v, c), []).append(i)
-                vc_mask[(v, c)] = vc_mask.get((v, c), 0) | bit
-                by_vertex.setdefault(v, []).append(i)
-                group_mask[v] = group_mask.get(v, 0) | bit
+                append_triple(ConflictVertex(e, v, c))
+                key = (v, c)
+                bucket = vc_bucket.get(key)
+                if bucket is None:
+                    vc_bucket[key] = [i]
+                    vc_mask[key] = bit
+                else:
+                    bucket.append(i)
+                    vc_mask[key] |= bit
+                group.append(i)
+                gm |= bit
+            group_mask[v] = gm
 
     rows: List[int] = [0] * len(triples)
 
@@ -191,10 +205,15 @@ def _build_structures(
                     for ib in vc_bucket[(u, c)]:
                         rows[ib] |= incoming
 
-    # Clear the self-bits introduced by the E_edge block masks.
+    # Clear the self-bits introduced by the E_edge block masks; count the
+    # conflict edges in the same pass so the frozen snapshot constructor
+    # does not need its own popcount sweep.
+    degree_sum = 0
     for i in range(len(rows)):
-        rows[i] &= ~(1 << i)
-    return triples, rows, blocks, vc_bucket, by_vertex
+        row = rows[i] & ~(1 << i)
+        rows[i] = row
+        degree_sum += popcount(row)
+    return triples, rows, blocks, vc_bucket, by_vertex, degree_sum // 2
 
 
 def _edge_vertex_pairs(hypergraph: Hypergraph, k: int) -> Iterator[Tuple[ConflictVertex, ConflictVertex]]:
@@ -317,13 +336,19 @@ class ConflictGraph:
             raise ReductionError(f"palette size k must be positive, got {k}")
         self.hypergraph = hypergraph
         self.k = k
-        triples, rows, blocks, vc_bucket, by_vertex = _build_structures(hypergraph, k)
+        triples, rows, blocks, vc_bucket, by_vertex, num_edges = _build_structures(
+            hypergraph, k
+        )
         self._triples = triples
         self._blocks = blocks
         self._vc_bucket = vc_bucket
         self._by_vertex = by_vertex
-        self._canonical = IndexedGraph._from_bitsets(triples, rows)
+        self._canonical = IndexedGraph._from_bitsets(triples, rows, num_edges)
         self._alive = (1 << len(triples)) - 1
+        # |E(G_k)| over the surviving triples, maintained under
+        # remove_hyperedges in O(deleted part) — num_edges() must not pay a
+        # full popcount sweep per phase of the reduction.
+        self._alive_edge_count = num_edges
         self._graph: Optional[Graph] = None
         self._frozen_view: Optional["IndexedGraph"] = self._canonical
         # repr-sorted snapshot for the MIS oracles (built on first use).
@@ -390,6 +415,18 @@ class ConflictGraph:
                     self._vc_bucket[(v, c)] = kept
                 else:
                     del self._vc_bucket[(v, c)]
+        # Conflict edges incident to the deleted triples: each dead triple
+        # counts its alive neighbors; edges with both endpoints dead are
+        # counted once per endpoint, so subtract half the within-dead sum.
+        bitsets = self._canonical.bitsets()
+        alive_old = self._alive
+        incident = 0
+        within = 0
+        for i in dead_ids:
+            row = bitsets[i]
+            incident += popcount(row & alive_old)
+            within += popcount(row & dead_mask)
+        self._alive_edge_count -= incident - within // 2
         self._alive &= ~dead_mask
         self._frozen_view = None
         self._graph = None
@@ -444,15 +481,23 @@ class ConflictGraph:
         if self._sorted_full is None:
             triples = self._triples
             n = len(triples)
-            order = sorted(range(n), key=lambda i: repr(triples[i]))
-            if order == list(range(n)):
+            # The sort keys are exactly repr(triple); the f-string mirrors
+            # NamedTuple.__repr__ to skip its per-call overhead (guarded by
+            # a unit test), and an is-sorted scan avoids the argsort in the
+            # common case where the canonical order already repr-sorts.
+            keys = [
+                f"ConflictVertex(edge={t[0]!r}, vertex={t[1]!r}, color={t[2]!r})"
+                for t in triples
+            ]
+            if all(keys[i] <= keys[i + 1] for i in range(n - 1)):
                 # The canonical order already is the repr order (true for
                 # every instance whose labels repr-sort component-wise,
                 # e.g. integer ids) — reuse the snapshot, skip the remap.
                 self._sorted_full = self._canonical
-                self._canon_to_sorted = order
+                self._canon_to_sorted = list(range(n))
                 self._sorted_alive = self._alive
             else:
+                order = sorted(range(n), key=keys.__getitem__)
                 self._sorted_full = self._canonical._permuted(order)
                 perm = [0] * n
                 for p, old in enumerate(order):
@@ -516,8 +561,8 @@ class ConflictGraph:
         return popcount(self._alive)
 
     def num_edges(self) -> int:
-        """Return ``|E(G_k)|`` (over the surviving edges)."""
-        return self._current_frozen().num_edges()
+        """Return ``|E(G_k)|`` (over the surviving edges; O(1), counter-maintained)."""
+        return self._alive_edge_count
 
     def expected_num_vertices(self) -> int:
         """The closed-form vertex count ``k · Σ_e |e|`` (cross-check for tests)."""

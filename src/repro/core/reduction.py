@@ -39,6 +39,7 @@ benchmark baseline (``repro bench reduction``).
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from typing import Callable, Dict, Hashable, List, Optional, Set, Tuple
 
@@ -47,6 +48,7 @@ from repro.coloring.multicoloring import Multicoloring
 from repro.core.bounds import color_budget, expected_remaining_edges, phase_budget
 from repro.core.conflict_graph import ConflictGraph, ConflictVertex
 from repro.core.correspondence import independent_set_to_coloring
+from repro.core.happiness import HappinessTracker
 from repro.exceptions import ReductionError
 from repro.graphs.graph import Graph
 from repro.hypergraph.hypergraph import Hypergraph
@@ -219,6 +221,10 @@ class ConflictFreeMulticoloringViaMaxIS:
         self._oracle_accepts_frozen = (
             isinstance(approximator, MaxISApproximator) and approximator.accepts_frozen
         )
+        #: Wall seconds the most recent run/run_rebuild spent computing the
+        #: per-phase happy-edge sets (the ``happy_check_wall_time_s`` key of
+        #: ``repro bench reduction``).
+        self.last_happy_check_wall_time_s: float = 0.0
 
     # ------------------------------------------------------------------
     def run(self, hypergraph: Hypergraph) -> ReductionResult:
@@ -264,6 +270,8 @@ class ConflictFreeMulticoloringViaMaxIS:
         phases: List[PhaseRecord] = []
         current = hypergraph.copy()
         conflict_graph: Optional[ConflictGraph] = None
+        tracker: Optional[HappinessTracker] = None
+        self.last_happy_check_wall_time_s = 0.0
 
         phase = 0
         while current.num_edges() > 0:
@@ -279,8 +287,11 @@ class ConflictFreeMulticoloringViaMaxIS:
                 )
             if rebuild or conflict_graph is None:
                 conflict_graph = ConflictGraph(current, self.k)
+                if not rebuild:
+                    tracker = HappinessTracker(current)
             record = self._run_phase(
-                current, conflict_graph, phase, multicoloring, rebuild=rebuild
+                current, conflict_graph, phase, multicoloring, rebuild=rebuild,
+                tracker=tracker,
             )
             phases.append(record)
             if rebuild:
@@ -290,6 +301,7 @@ class ConflictFreeMulticoloringViaMaxIS:
             else:
                 current.remove_edges(record.happy_edges)
                 conflict_graph.remove_hyperedges(record.happy_edges)
+                tracker.remove_edges(record.happy_edges)
 
         # Edgeless input: no phase runs and the empty multicoloring is
         # vacuously conflict-free (remaining_edges_series() is then empty).
@@ -310,14 +322,18 @@ class ConflictFreeMulticoloringViaMaxIS:
         phase: int,
         multicoloring: Multicoloring,
         rebuild: bool = False,
+        tracker: Optional[HappinessTracker] = None,
     ) -> PhaseRecord:
         """Run one phase on the surviving hypergraph and merge its colors.
 
         ``conflict_graph`` must be the conflict graph of ``current`` —
         freshly built in the rebuild path, incrementally maintained in the
-        engine.  The rebuild path hands the oracle the mutable graph (the
-        seed behavior); the engine hands registered approximators the
-        ``repr``-sorted frozen view, which yields the same independent set.
+        engine (together with ``tracker``, its happy-state twin).  The
+        rebuild path hands the oracle the mutable graph (the seed
+        behavior) and computes happiness from scratch — the equality
+        oracle for the tracker's incidence-driven check; the engine hands
+        registered approximators the ``repr``-sorted frozen view, which
+        yields the same independent set.
         """
         if rebuild or not self._oracle_accepts_frozen:
             oracle_input = conflict_graph.graph
@@ -332,7 +348,12 @@ class ConflictFreeMulticoloringViaMaxIS:
 
         # f_{I_i}: the phase's partial single-coloring over palette 1..k.
         phase_coloring = independent_set_to_coloring(conflict_graph, independent_set)
-        happy = single_happy_edges(current, phase_coloring)
+        happy_start = time.perf_counter()
+        if tracker is None:
+            happy = single_happy_edges(current, phase_coloring)
+        else:
+            happy = tracker.commit(phase_coloring)
+        self.last_happy_check_wall_time_s += time.perf_counter() - happy_start
         if independent_set and len(happy) < len(independent_set):
             raise ReductionError(
                 f"phase {phase}: only {len(happy)} happy edges for an independent "

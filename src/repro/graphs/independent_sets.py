@@ -8,7 +8,8 @@ reduction live in :mod:`repro.maxis`; they build on the primitives here.
 
 from __future__ import annotations
 
-from typing import Hashable, Iterable, List, Optional, Sequence, Set
+import random
+from typing import Hashable, Iterable, List, Optional, Sequence, Set, Union
 
 from repro.exceptions import GraphError, IndependenceError
 from repro.graphs.graph import Graph
@@ -123,6 +124,46 @@ def greedy_min_degree_independent_set(graph: Graph) -> Set[Vertex]:
         to_remove = work.neighbors(v) | {v}
         for u in to_remove:
             work.remove_vertex(u)
+    verify_independent_set(graph, selected)
+    return selected
+
+
+def luby_mis(
+    graph: Graph, seed: Optional[Union[int, random.Random]] = None
+) -> Set[Vertex]:
+    """One maximal IS via Luby-style coin-flip rounds (reference implementation).
+
+    Each round draws one fair coin per alive vertex (a single
+    ``getrandbits(#alive)`` per round; bit ``j`` belongs to the ``j``-th
+    alive vertex in ascending ``repr`` order), thins the marked vertices to
+    an independent set first-fit along the same order, commits the winners
+    and deletes their closed neighborhoods.  Rounds repeat until no vertex
+    is alive, so the result is a maximal independent set; with a seeded rng
+    the whole run is deterministic.
+
+    This is the *reference* path of the bit-parallel batched kernel
+    :func:`repro.maxis.luby_based.luby_batch_mis`, which packs the coin
+    flips of many trials into machine-word lanes: trial ``t`` of the batch
+    must reproduce ``luby_mis(graph, seed=trial_seed_t)`` bit for bit (the
+    differential tests under ``tests/fuzz`` assert exactly that), so the
+    two implementations must consume randomness identically — rounds
+    outermost, alive vertices ascending within a round.
+    """
+    rng = seed if isinstance(seed, random.Random) else random.Random(seed)
+    order = sorted(graph.vertices, key=repr)
+    alive: Set[Vertex] = set(order)
+    selected: Set[Vertex] = set()
+    while alive:
+        alive_order = [v for v in order if v in alive]
+        bits = rng.getrandbits(len(alive_order))
+        round_sel: Set[Vertex] = set()
+        for j, v in enumerate(alive_order):
+            if (bits >> j) & 1 and round_sel.isdisjoint(graph.adjacent(v)):
+                round_sel.add(v)
+        for v in round_sel:
+            alive.discard(v)
+            alive -= graph.adjacent(v)
+        selected |= round_sel
     verify_independent_set(graph, selected)
     return selected
 

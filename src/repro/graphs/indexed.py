@@ -567,12 +567,79 @@ def min_degree_greedy_ids(graph: IndexedGraph) -> List[int]:
     labels interned in ``sorted(..., key=repr)`` order this reproduces the
     reference tie-breaking ``(degree, repr)`` exactly.
 
+    The kernel never *materializes* the lazy CSR arrays: on a fresh frozen
+    snapshot (``_from_bitsets`` / ``_permuted``) it runs bitset-only —
+    residual degrees are popcounts of alive-masked rows and neighborhoods
+    are walked with low-bit extraction — so the one-time CSR build that
+    used to dominate the reduction's oracle cost is gone.  When the CSR
+    arrays already exist (e.g. the graph was frozen from a mutable
+    :class:`Graph`) the walk uses them instead, which is faster per
+    neighbor; both paths select identically.
+
     Accepts an :class:`IndexedSubgraph` view: the selection then runs on
     the induced subgraph (masked initial degrees, dead ids never enter the
     queue) and returns parent ids, matching what a from-scratch rebuild of
     the subgraph would select.
     """
     base, mask = _base_and_mask(graph)
+    if base._indptr is not None:
+        return _min_degree_greedy_csr(base, mask)
+    return _min_degree_greedy_bitset(base, mask)
+
+
+def _min_degree_greedy_bitset(base: IndexedGraph, mask: Optional[int]) -> List[int]:
+    """Bitset-only selection loop (no CSR access at all)."""
+    n = base.num_vertices()
+    if n == 0:
+        return []
+    bitsets = base._bitsets
+    alive = (1 << n) - 1 if mask is None else mask
+    if not alive:
+        return []
+    ids = list(iter_bits(alive))
+    deg = [0] * n
+    for i in ids:
+        deg[i] = _popcount(bitsets[i] & alive)
+    buckets: List[Set[int]] = [set() for _ in range(max(deg[i] for i in ids) + 1)]
+    for i in ids:
+        buckets[deg[i]].add(i)
+    min_deg = 0
+    chosen: List[int] = []
+    while alive:
+        while not buckets[min_deg]:
+            min_deg += 1
+        v = min(buckets[min_deg])
+        chosen.append(v)
+        # Delete N[v]: v itself plus every alive neighbor.
+        buckets[min_deg].discard(v)
+        dead = bitsets[v] & alive
+        alive &= ~(dead | (1 << v))
+        m = dead
+        while m:
+            low = m & -m
+            buckets[deg[low.bit_length() - 1]].discard(low.bit_length() - 1)
+            m ^= low
+        m = dead
+        while m:
+            low = m & -m
+            u = low.bit_length() - 1
+            m ^= low
+            survivors = bitsets[u] & alive
+            while survivors:
+                wl = survivors & -survivors
+                w = wl.bit_length() - 1
+                survivors ^= wl
+                d = deg[w]
+                buckets[d].discard(w)
+                deg[w] = d - 1
+                buckets[d - 1].add(w)
+                if d - 1 < min_deg:
+                    min_deg = d - 1
+    return sorted(chosen)
+
+
+def _min_degree_greedy_csr(base: IndexedGraph, mask: Optional[int]) -> List[int]:
+    """CSR-walking selection loop, used when the arrays are already built."""
     n = base.num_vertices()
     if n == 0:
         return []

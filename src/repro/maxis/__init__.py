@@ -23,6 +23,9 @@ from repro.maxis.local_ratio import (
 from repro.maxis.luby_based import (
     best_of_random_mis,
     luby_based_approximation,
+    luby_batch_mis,
+    luby_batch_mis_ids,
+    luby_trial_seeds,
     random_order_mis,
 )
 from repro.maxis.verification import (
@@ -48,6 +51,9 @@ __all__ = [
     "greedy_clique_cover",
     "best_of_random_mis",
     "luby_based_approximation",
+    "luby_batch_mis",
+    "luby_batch_mis_ids",
+    "luby_trial_seeds",
     "random_order_mis",
     "ApproximationReport",
     "check_approximation",

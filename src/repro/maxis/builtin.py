@@ -12,7 +12,7 @@ from repro.maxis.approximators import MaxISApproximator, register_approximator
 from repro.maxis.exact import exact_maximum_independent_set
 from repro.maxis.greedy import first_fit_greedy, min_degree_greedy, turan_guarantee
 from repro.maxis.local_ratio import clique_cover_approximation
-from repro.maxis.luby_based import luby_based_approximation
+from repro.maxis.luby_based import luby_based_approximation, luby_batch_mis
 
 
 register_approximator(
@@ -52,6 +52,16 @@ register_approximator(
         guarantee=turan_guarantee,
         accepts_frozen=True,
         description="Largest of 5 random-order maximal independent sets.",
+    )
+)
+
+register_approximator(
+    MaxISApproximator(
+        name="luby-batch-of-8",
+        solve=lambda g: luby_batch_mis(g, trials=8, seed=0),
+        guarantee=turan_guarantee,
+        accepts_frozen=True,
+        description="Largest of 8 Luby coin-flip trials, advanced bit-parallel in lanes.",
     )
 )
 

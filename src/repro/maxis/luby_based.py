@@ -20,7 +20,13 @@ from typing import Hashable, List, Optional, Set, Union
 
 from repro.exceptions import ApproximationError
 from repro.graphs.graph import Graph
-from repro.graphs.indexed import IndexedGraph, first_fit_mis_ids, freeze_sorted
+from repro.graphs.indexed import (
+    IndexedGraph,
+    first_fit_mis_ids,
+    freeze_sorted,
+    iter_bits,
+    popcount,
+)
 
 Vertex = Hashable
 
@@ -93,3 +99,109 @@ def luby_based_approximation(
 ) -> Set[Vertex]:
     """Default Luby-style approximator used by the registry (best of ``trials`` runs)."""
     return best_of_random_mis(graph, trials=trials, seed=seed)
+
+
+# ----------------------------------------------------------------------
+# bit-parallel batched Luby rounds
+# ----------------------------------------------------------------------
+def luby_trial_seeds(seed: Optional[int], trials: int) -> List[int]:
+    """Derive the per-trial seeds of a batched Luby run (shared with tests).
+
+    Trial ``t`` of :func:`luby_batch_mis` behaves exactly like
+    ``luby_mis(graph, seed=luby_trial_seeds(seed, trials)[t])`` — the
+    differential-fuzzing harness asserts this equality per trial.
+    """
+    master = random.Random(seed)
+    return [master.getrandbits(64) for _ in range(trials)]
+
+
+def luby_batch_mis_ids(
+    graph: IndexedGraph, trials: int, seed: Optional[int] = None
+) -> List[List[int]]:
+    """Run ``trials`` Luby coin-flip MIS trials bit-parallel; ids per trial.
+
+    Each trial's state is one Python-int vertex bitmask, and a round's
+    coin flips arrive packed in machine-word lanes — one
+    ``getrandbits(#alive)`` integer per trial whose bit ``j`` is the flip
+    of the ``j``-th alive vertex.  The round's three steps all run as
+    whole-word algebra over the existing bitset rows: marking and
+    first-fit thinning share a single ascending pass (one ``rows[i] & sel``
+    test per marked vertex), and the closed-neighborhood removal is one
+    ``dead |= rows[i]`` OR per selected vertex — the graph is never walked
+    neighbor by neighbor.  One sweep of the round loop advances every
+    trial before any of them proceeds to the next round.
+
+    Randomness is consumed per trial in exactly the reference order
+    (rounds outermost, alive vertices ascending), so trial ``t``
+    reproduces ``luby_mis(graph, seed=luby_trial_seeds(seed, trials)[t])``
+    — see :func:`repro.graphs.independent_sets.luby_mis`.
+
+    Accepts alive-mask subgraph views; returned ids are parent ids.
+    """
+    if trials <= 0:
+        raise ApproximationError(f"trials must be positive, got {trials}")
+    ids = list(graph.vertex_ids())
+    rngs = [random.Random(s) for s in luby_trial_seeds(seed, trials)]
+    if not ids:
+        return [[] for _ in range(trials)]
+    view_mask = graph.alive_mask()
+    raw = graph._bitsets
+    rows = {i: raw[i] & view_mask for i in ids}
+    alive_v = [view_mask] * trials
+    chosen_v = [0] * trials
+    pending = True
+    while pending:
+        pending = False
+        for t in range(trials):
+            av = alive_v[t]
+            if not av:
+                continue
+            draws = rngs[t].getrandbits(popcount(av))
+            # Scatter the packed flips to the alive vertices and thin the
+            # marked ones to an independent set, first-fit, in one
+            # ascending pass.
+            sel = 0
+            j = 0
+            m = av
+            while m:
+                low = m & -m
+                if (draws >> j) & 1 and not (rows[low.bit_length() - 1] & sel):
+                    sel |= low
+                j += 1
+                m ^= low
+            if sel:
+                chosen_v[t] |= sel
+                dead = sel
+                s = sel
+                while s:
+                    low = s & -s
+                    dead |= rows[low.bit_length() - 1]
+                    s ^= low
+                av &= ~dead
+                alive_v[t] = av
+            if av:
+                pending = True
+    return [list(iter_bits(chosen)) for chosen in chosen_v]
+
+
+def luby_batch_mis(
+    graph: Union[Graph, IndexedGraph],
+    trials: int = 8,
+    seed: Optional[int] = None,
+) -> Set[Vertex]:
+    """Largest of ``trials`` bit-parallel Luby MIS trials (first max wins).
+
+    The graph is frozen once in ``repr`` order (views pass through), all
+    trials advance simultaneously through :func:`luby_batch_mis_ids`, and
+    the winner is the first trial of maximum size — the same tie-break as
+    running the scalar reference per trial and keeping the first best.
+    """
+    frozen = freeze_sorted(graph)
+    per_trial = luby_batch_mis_ids(frozen, trials, seed)
+    best: List[int] = []
+    for candidate in per_trial:
+        if len(candidate) > len(best):
+            best = candidate
+    if len(frozen) > 0 and not best:
+        raise ApproximationError("batched Luby sampling produced an empty set")
+    return {frozen.label(i) for i in best}

@@ -1,0 +1,109 @@
+"""Differential fuzzing of the bitset-only residual-degree greedy kernel.
+
+The reference path is the plain-graph
+:func:`repro.graphs.independent_sets.greedy_min_degree_independent_set`;
+the production kernel :func:`repro.graphs.indexed.min_degree_greedy_ids`
+must match it bit for bit on full graphs and on alive-mask subgraph views
+— and must never materialize the lazy CSR arrays of a fresh frozen
+snapshot (the regression that used to cost ~30 ms per reduction run).
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.graphs import erdos_renyi_graph
+from repro.graphs.independent_sets import greedy_min_degree_independent_set
+from repro.graphs.indexed import freeze_sorted, min_degree_greedy_ids
+from repro.hypergraph import colorable_almost_uniform_hypergraph
+from repro.core.conflict_graph import ConflictGraph
+from repro.maxis import get_approximator
+
+SEED_COUNT = 110
+
+
+@pytest.mark.parametrize("seed", range(SEED_COUNT))
+def test_bitset_kernel_matches_reference(seed):
+    rng = random.Random(seed)
+    n = rng.randint(0, 16)
+    g = erdos_renyi_graph(n, rng.uniform(0.0, 0.6), seed=rng.randrange(10_000))
+    frozen = freeze_sorted(g)
+    got = {frozen.label(i) for i in min_degree_greedy_ids(frozen)}
+    expected = greedy_min_degree_independent_set(g)
+    assert got == expected, f"[seed={seed}] kernel {got!r} != reference {expected!r}"
+
+
+@pytest.mark.parametrize("seed", range(SEED_COUNT))
+def test_bitset_and_csr_paths_agree(seed):
+    """The two internal walks (lazy-bitset vs materialized-CSR) select identically."""
+    from repro.graphs.indexed import IndexedGraph
+
+    rng = random.Random(seed)
+    n = rng.randint(0, 16)
+    g = erdos_renyi_graph(n, rng.uniform(0.0, 0.6), seed=rng.randrange(10_000))
+    with_csr = freeze_sorted(g)  # Graph.freeze builds the CSR arrays eagerly
+    assert n == 0 or with_csr._indptr is not None
+    fresh = IndexedGraph._from_bitsets(with_csr.labels(), list(with_csr.bitsets()))
+    assert fresh._indptr is None
+    assert min_degree_greedy_ids(fresh) == min_degree_greedy_ids(with_csr), (
+        f"[seed={seed}] bitset and CSR kernels disagree"
+    )
+    assert fresh._indptr is None, f"[seed={seed}] bitset path materialized CSR"
+
+
+@pytest.mark.parametrize("seed", range(SEED_COUNT))
+def test_view_kernel_matches_dense_rebuild(seed):
+    """On a subgraph view the kernel equals a from-scratch rebuild of the subgraph."""
+    rng = random.Random(seed)
+    n = rng.randint(1, 14)
+    g = erdos_renyi_graph(n, rng.uniform(0.0, 0.6), seed=rng.randrange(10_000))
+    frozen = freeze_sorted(g)
+    alive = rng.getrandbits(n) & frozen.alive_mask()
+    view = frozen.subgraph_view(alive)
+    got = {frozen.label(i) for i in min_degree_greedy_ids(view)}
+    dense = freeze_sorted(view.to_graph()) if alive else None
+    expected = (
+        {dense.label(i) for i in min_degree_greedy_ids(dense)} if alive else set()
+    )
+    assert got == expected, f"[seed={seed}] view {got!r} != dense {expected!r}"
+
+
+class TestNoCsrMaterialization:
+    """`greedy-min-degree` must stay bitset-only on fresh frozen snapshots."""
+
+    def _conflict_graph(self):
+        hypergraph, _ = colorable_almost_uniform_hypergraph(
+            n=24, m=15, k=3, epsilon=0.5, seed=11
+        )
+        return ConflictGraph(hypergraph, 3)
+
+    def test_kernel_on_fresh_snapshot_keeps_csr_lazy(self):
+        cg = self._conflict_graph()
+        frozen = cg.frozen_sorted()
+        assert frozen._indptr is None, "snapshot should start without CSR"
+        min_degree_greedy_ids(frozen)
+        assert frozen._indptr is None, (
+            "min_degree_greedy_ids materialized the CSR arrays on a fresh snapshot"
+        )
+
+    def test_registry_oracle_on_view_keeps_csr_lazy(self):
+        cg = self._conflict_graph()
+        first = get_approximator("greedy-first-fit")(cg.frozen_sorted())
+        happy = {t.edge for t in first}
+        cg.remove_hyperedges(set(list(happy)[:3]))
+        view = cg.frozen_sorted()
+        result = get_approximator("greedy-min-degree")(view)
+        assert result  # non-empty on a non-empty view
+        base = view._parent if hasattr(view, "_parent") else view
+        assert base._indptr is None, (
+            "greedy-min-degree on an alive-mask view materialized CSR"
+        )
+
+    def test_reference_equality_still_holds_without_csr(self):
+        cg = self._conflict_graph()
+        frozen = cg.frozen_sorted()
+        got = {frozen.label(i) for i in min_degree_greedy_ids(frozen)}
+        expected = greedy_min_degree_independent_set(cg.graph)
+        assert got == expected
