@@ -1,12 +1,14 @@
 # Developer entry points. `make test` is the tier-1 gate; `make bench-smoke`
-# runs the perf harness on the smallest workload and validates the JSON schema.
+# runs the perf harness on the smallest workload and validates the JSON
+# schema; `make campaign-smoke` checks the campaign runtime's serial-vs-pool
+# byte identity and resume on a tiny committed spec.
 
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
 SMOKE_DIR := .bench-smoke
 
-.PHONY: test bench bench-smoke coverage check install clean
+.PHONY: test bench bench-smoke campaign-smoke campaign-demo coverage check install clean
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -23,9 +25,19 @@ bench:
 
 bench-smoke:
 	$(PYTHON) -m repro bench --smoke --out-dir $(SMOKE_DIR) --repeats 1
-	$(PYTHON) scripts/validate_bench.py $(SMOKE_DIR)/BENCH_conflict_graph.json $(SMOKE_DIR)/BENCH_maxis.json $(SMOKE_DIR)/BENCH_reduction.json
+	$(PYTHON) scripts/validate_bench.py $(SMOKE_DIR)
 
-check: coverage bench-smoke
+# Tiny 8-task campaign: serial executor, 2-worker pool and a simulated
+# kill+resume must all produce byte-identical aggregates.
+campaign-smoke:
+	$(PYTHON) scripts/campaign_smoke.py
+
+# The committed ≥200-task demo campaign (examples/campaign_demo.json).
+campaign-demo:
+	$(PYTHON) -m repro campaign run --spec examples/campaign_demo.json --out .campaign-demo --workers 4
+	$(PYTHON) -m repro campaign report --out .campaign-demo
+
+check: coverage bench-smoke campaign-smoke
 
 # pip's PEP-517 editable path needs the `wheel` package; fall back to the
 # legacy develop install on environments that ship setuptools without it.
@@ -33,5 +45,5 @@ install:
 	pip install -e . --no-build-isolation || $(PYTHON) setup.py develop
 
 clean:
-	rm -rf $(SMOKE_DIR) .pytest_cache
+	rm -rf $(SMOKE_DIR) .campaign-smoke .campaign-demo .pytest_cache
 	find . -name __pycache__ -type d -exec rm -rf {} +

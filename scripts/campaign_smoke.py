@@ -1,0 +1,88 @@
+#!/usr/bin/env python
+"""Campaign-runtime smoke gate: serial vs. pool byte identity plus resume.
+
+Runs the tiny committed 8-task spec (``examples/campaign_smoke.json``)
+three ways and asserts all aggregates are byte-identical:
+
+1. the serial reference executor;
+2. a 2-worker process pool;
+3. the serial executor resumed after a simulated kill (the last JSONL row
+   replaced by half a line).
+
+Usage: ``python scripts/campaign_smoke.py`` (from the repository root; run
+by ``make campaign-smoke`` and ``scripts/check.sh``).  Scratch output goes
+to ``.campaign-smoke/`` (wiped on entry).
+"""
+
+from __future__ import annotations
+
+import shutil
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.runtime import (  # noqa: E402
+    CampaignSpec,
+    CampaignStore,
+    campaign_digest,
+    campaign_records,
+    run_campaign,
+)
+
+SPEC_PATH = REPO_ROOT / "examples" / "campaign_smoke.json"
+SCRATCH = REPO_ROOT / ".campaign-smoke"
+
+
+def digest_of(spec: CampaignSpec, directory: Path) -> str:
+    return campaign_digest(campaign_records(spec, CampaignStore(directory).rows()))
+
+
+def main() -> int:
+    spec = CampaignSpec.from_json(SPEC_PATH.read_text(encoding="utf-8"))
+    shutil.rmtree(SCRATCH, ignore_errors=True)
+
+    serial = run_campaign(spec, SCRATCH / "serial", workers=0)
+    if serial.failed:
+        print(f"campaign-smoke: FAIL — {serial.failed} serial tasks failed")
+        return 1
+    serial_digest = digest_of(spec, SCRATCH / "serial")
+    print(
+        f"serial:   {serial.executed} tasks in {serial.wall_time_s:.3f}s "
+        f"({serial.tasks_per_s:.1f}/s)  digest {serial_digest[:12]}"
+    )
+
+    pool = run_campaign(spec, SCRATCH / "pool", workers=2)
+    pool_digest = digest_of(spec, SCRATCH / "pool")
+    print(
+        f"workers=2: {pool.executed} tasks in {pool.wall_time_s:.3f}s "
+        f"({pool.tasks_per_s:.1f}/s)  digest {pool_digest[:12]}"
+    )
+    if pool_digest != serial_digest:
+        print("campaign-smoke: FAIL — pool aggregate differs from the serial reference")
+        return 1
+
+    # Simulated kill: drop the final row mid-line, then resume.
+    store = CampaignStore(SCRATCH / "pool")
+    lines = store.results_path.read_text(encoding="utf-8").splitlines(keepends=True)
+    store.results_path.write_text("".join(lines[:-1]) + '{"task_key": "par', encoding="utf-8")
+    resumed = run_campaign(spec, SCRATCH / "pool", workers=0)
+    resumed_digest = digest_of(spec, SCRATCH / "pool")
+    print(
+        f"resume:   {resumed.executed} executed / {resumed.skipped} skipped  "
+        f"digest {resumed_digest[:12]}"
+    )
+    if resumed.executed != 1 or resumed.skipped != spec.num_tasks() - 1:
+        print("campaign-smoke: FAIL — resume did not skip exactly the completed tasks")
+        return 1
+    if resumed_digest != serial_digest:
+        print("campaign-smoke: FAIL — resumed aggregate differs from the serial reference")
+        return 1
+
+    print("campaign-smoke: OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -21,6 +21,9 @@ fi
 
 echo "== bench smoke =="
 python -m repro bench --smoke --out-dir .bench-smoke --repeats 1
-python scripts/validate_bench.py .bench-smoke/BENCH_conflict_graph.json .bench-smoke/BENCH_maxis.json .bench-smoke/BENCH_reduction.json
+python scripts/validate_bench.py .bench-smoke
+
+echo "== campaign smoke =="
+python scripts/campaign_smoke.py
 
 echo "check: OK"

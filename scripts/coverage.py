@@ -1,11 +1,11 @@
 #!/usr/bin/env python
 """Line-coverage gate for the core packages, with a dependency-free fallback.
 
-Measures line coverage of ``src/repro/core``, ``src/repro/maxis`` and
-``src/repro/graphs`` under the full test suite and fails when the
-aggregate drops below ``FAIL_UNDER`` percent (the floor measured when the
-gate was introduced — raise it when coverage improves, never lower it to
-make a regression pass).
+Measures line coverage of ``src/repro/core``, ``src/repro/maxis``,
+``src/repro/graphs`` and ``src/repro/runtime`` under the full test suite
+and fails when the aggregate drops below ``FAIL_UNDER`` percent (the
+floor measured when the gate was introduced — raise it when coverage
+improves, never lower it to make a regression pass).
 
 Two measurement backends:
 
@@ -31,13 +31,17 @@ REPO_ROOT = Path(__file__).resolve().parent.parent
 SRC = REPO_ROOT / "src"
 
 #: Packages whose line coverage is gated (paths under src/).
-TARGET_PACKAGES = ("repro/core", "repro/maxis", "repro/graphs")
+TARGET_PACKAGES = ("repro/core", "repro/maxis", "repro/graphs", "repro/runtime")
 
 #: Aggregate fail-under floor in percent: the stdlib backend measured
 #: 93.6% (core 91.6 / maxis 94.5 / graphs 94.8) when the gate was
-#: introduced.  pytest-cov counts lines slightly differently; the common
-#: floor is conservative for both backends.
-FAIL_UNDER = 93
+#: introduced.  PR 4 added src/repro/runtime (98.4% at introduction) and
+#: fixed the trace._Ignore module-name cache poisoning that had been
+#: dropping __init__.py (and runtime/tasks.py) from the counts, lifting
+#: the measured aggregate to 95.3% — the floor ratchets up accordingly.
+#: pytest-cov counts lines slightly differently; the common floor is
+#: conservative for both backends.
+FAIL_UNDER = 94
 
 
 def _have_pytest_cov() -> bool:
@@ -82,6 +86,13 @@ def _run_with_stdlib_trace() -> int:
 
     sys.path.insert(0, str(SRC))
     tracer = trace.Trace(count=1, trace=0, ignoredirs=[sys.prefix, sys.exec_prefix])
+    # trace._Ignore caches its ignore decision by *bare module name*: once a
+    # stdlib file in an ignored dir runs (asyncio/tasks.py, any __init__.py),
+    # every same-named file under src/ is silently dropped from the counts.
+    # Pre-seed the cache with "do not ignore" for every gated module name so
+    # e.g. repro/runtime/tasks.py and the package __init__ files are counted.
+    for _pkg, path in _target_files():
+        tracer.ignore._ignore[path.stem] = 0
     rc = tracer.runfunc(
         pytest.main, ["-q", "-p", "no:cacheprovider", str(REPO_ROOT / "tests")]
     )

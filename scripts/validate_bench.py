@@ -2,9 +2,13 @@
 """Validate BENCH_*.json files against the perf-harness schema.
 
 Usage: python scripts/validate_bench.py BENCH_conflict_graph.json [...]
+       python scripts/validate_bench.py .bench-smoke
 
-Exits non-zero (with a message per file) on the first schema violation, so
-it can gate CI / `make bench-smoke`.
+Arguments may be files or directories; a directory validates every
+``BENCH_*.json`` inside it (all four families, including
+``BENCH_campaign.json``) and fails when it contains none.  Exits non-zero
+(with a message per file) on the first schema violation, so it can gate
+CI / `make bench-smoke`.
 """
 
 from __future__ import annotations
@@ -20,10 +24,20 @@ from repro.bench import validate_bench_payload  # noqa: E402
 
 def main(argv: list) -> int:
     if not argv:
-        print("usage: validate_bench.py BENCH_file.json [...]", file=sys.stderr)
+        print("usage: validate_bench.py BENCH_file.json|directory [...]", file=sys.stderr)
         return 2
+    paths = []
     for name in argv:
         path = Path(name)
+        if path.is_dir():
+            found = sorted(path.glob("BENCH_*.json"))
+            if not found:
+                print(f"{path}: INVALID (directory contains no BENCH_*.json)", file=sys.stderr)
+                return 1
+            paths.extend(found)
+        else:
+            paths.append(path)
+    for path in paths:
         try:
             validate_bench_payload(json.loads(path.read_text()))
         except (OSError, ValueError) as exc:

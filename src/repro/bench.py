@@ -15,7 +15,11 @@ trajectories:
   (``ConflictFreeMulticoloringViaMaxIS.run``, the incremental phase
   engine) next to the retained rebuild-per-phase path
   (:meth:`~repro.core.reduction.ConflictFreeMulticoloringViaMaxIS.run_rebuild`),
-  per workload and oracle regime, with result equality asserted.
+  per workload and oracle regime, with result equality asserted;
+* ``BENCH_campaign.json`` — throughput (tasks/s) of the campaign runtime
+  (:mod:`repro.runtime`): the serial reference executor vs. worker pools
+  on one fixed campaign, with the deterministic aggregate digest asserted
+  equal across every configuration.
 
 JSON schema (``schema_version`` 1): the top level carries
 ``schema_version``, ``benchmark``, ``generated_by`` and ``records``; every
@@ -23,7 +27,9 @@ record carries ``label`` (workload), ``n`` / ``m`` (size of the object
 being processed), ``wall_time_s`` and ``peak_triples`` (``|V(G_k)|``, the
 high-water number of conflict triples the workload materializes).
 Conflict-graph records add ``k``, ``num_edges``, ``legacy_wall_time_s``
-and ``speedup``; MIS records add ``algorithm`` and ``is_size``; reduction
+and ``speedup``; MIS records add ``algorithm`` and ``is_size``; campaign
+records add ``workers``, ``tasks``, ``tasks_per_s`` and ``speedup`` (vs.
+the serial executor; plus the informational ``digest``); reduction
 records add ``k``, ``num_phases``, ``total_colors``,
 ``rebuild_wall_time_s``, ``happy_check_wall_time_s`` (seconds the
 incremental engine's incidence-driven happiness tracker spent across all
@@ -47,6 +53,7 @@ from __future__ import annotations
 import argparse
 import json
 import math
+import os
 import time
 from pathlib import Path
 from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
@@ -54,11 +61,12 @@ from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 CONFLICT_GRAPH_BENCH = "BENCH_conflict_graph.json"
 MAXIS_BENCH = "BENCH_maxis.json"
 REDUCTION_BENCH = "BENCH_reduction.json"
+CAMPAIGN_BENCH = "BENCH_campaign.json"
 
 SCHEMA_VERSION = 1
 
 #: The benchmark families ``run()`` knows how to produce.
-FAMILIES = ("conflict-graph", "maxis", "reduction")
+FAMILIES = ("conflict-graph", "maxis", "reduction", "campaign")
 
 #: The instance-size sweep of the benchmark suite's ``hypergraph_family``.
 DEFAULT_SIZES: Tuple[Tuple[int, int], ...] = ((30, 20), (60, 40), (90, 60), (120, 80))
@@ -326,6 +334,122 @@ def bench_reduction(
     return records
 
 
+#: Worker-pool sizes the campaign benchmark compares against the serial
+#: executor (the smoke run only uses the first entry).
+CAMPAIGN_WORKER_COUNTS: Tuple[int, ...] = (2, 4)
+
+
+def _campaign_bench_spec(smoke: bool):
+    """The campaign the throughput benchmark executes (8 tasks in smoke, 96 full)."""
+    from repro.runtime import CampaignSpec
+
+    if smoke:
+        return CampaignSpec(
+            name="bench-campaign-smoke",
+            seed=7,
+            families=("colorable",),
+            sizes=((12, 8),),
+            ks=(2,),
+            oracles=("greedy-first-fit", "capped:greedy-first-fit"),
+            lams=(2.0,),
+            replicates=4,
+        )
+    return CampaignSpec(
+        name="bench-campaign",
+        seed=7,
+        families=("colorable", "uniform"),
+        sizes=((20, 12), (30, 20)),
+        ks=(2,),
+        oracles=("greedy-first-fit", "capped:greedy-first-fit"),
+        lams=(2.0,),
+        replicates=12,
+    )
+
+
+def bench_campaign(
+    smoke: bool = False,
+    repeats: int = 3,
+    worker_counts: Optional[Sequence[int]] = None,
+) -> List[Dict[str, object]]:
+    """Time campaign execution: the serial reference vs. worker pools.
+
+    Every configuration runs the same spec into a fresh scratch directory
+    (best wall time over ``repeats``); each run's deterministic aggregate
+    digest must equal the serial one — the byte-identity contract of the
+    scheduler — or the benchmark aborts.  ``tasks_per_s`` is the
+    throughput deliverable; ``speedup`` is relative to the serial
+    executor on the same machine (bounded by the available cores).
+    """
+    import shutil
+    import tempfile
+
+    from repro.runtime import CampaignStore, campaign_digest, campaign_records, run_campaign
+
+    spec = _campaign_bench_spec(smoke)
+    if worker_counts is None:
+        worker_counts = CAMPAIGN_WORKER_COUNTS[:1] if smoke else CAMPAIGN_WORKER_COUNTS
+
+    def run_once(workers: int):
+        scratch = tempfile.mkdtemp(prefix="bench-campaign-")
+        try:
+            stats = run_campaign(spec, scratch, workers=workers)
+            store = CampaignStore(scratch)
+            rows = store.rows()
+            digest = campaign_digest(campaign_records(spec, rows))
+            done = [r for r in rows if r["status"] == "done"]
+            peak = max((r["peak_triples"] for r in done), default=0)
+            return stats, digest, len(done), peak
+        finally:
+            shutil.rmtree(scratch, ignore_errors=True)
+
+    # Parallel speedup is bounded by the cores the scheduler may use;
+    # record that bound so the committed trajectory is interpretable
+    # across machines (a 1-core container cannot beat the serial path).
+    try:
+        cpus = len(os.sched_getaffinity(0))
+    except AttributeError:  # pragma: no cover - non-Linux fallback
+        cpus = os.cpu_count() or 1
+
+    configurations = [("serial", 0)] + [(f"workers={w}", w) for w in worker_counts]
+    records: List[Dict[str, object]] = []
+    reference_digest: Optional[str] = None
+    serial_s: Optional[float] = None
+    for label, workers in configurations:
+        best_s = float("inf")
+        digest = ""
+        done = peak = 0
+        for _ in range(max(1, repeats)):
+            stats, digest, done, peak = run_once(workers)
+            if reference_digest is None:
+                reference_digest = digest
+            if digest != reference_digest:
+                raise AssertionError(
+                    f"campaign aggregate digest diverged under {label!r}: "
+                    f"{digest[:12]} != serial {reference_digest[:12]}"
+                )
+            best_s = min(best_s, stats.wall_time_s)
+        if workers == 0:
+            serial_s = best_s
+        records.append(
+            {
+                "label": label,
+                "n": spec.num_tasks(),
+                "m": done,
+                "k": spec.ks[0],
+                "peak_triples": peak,
+                "workers": max(1, workers),
+                "cpus": cpus,
+                "tasks": spec.num_tasks(),
+                "wall_time_s": best_s,
+                "tasks_per_s": spec.num_tasks() / best_s if best_s > 0 else None,
+                # None (not inf) when the timer underflows, as above.
+                "speedup": serial_s / best_s if best_s > 0 else None,
+                "digest": digest[:12],
+            }
+        )
+    return records
+
+
 # ----------------------------------------------------------------------
 # JSON payloads
 # ----------------------------------------------------------------------
@@ -349,6 +473,7 @@ _BENCHMARK_KEYS: Dict[str, Tuple[str, ...]] = {
         "speedup",
     ),
     "maxis_solve": ("algorithm", "is_size"),
+    "campaign_run": ("workers", "tasks", "tasks_per_s", "speedup"),
     "reduction_pipeline": (
         "k",
         "num_phases",
@@ -400,7 +525,7 @@ def run(
     """Run the selected benchmark families and write ``BENCH_*.json`` into ``out_dir``.
 
     ``families`` selects a subset of :data:`FAMILIES` (``None`` runs all
-    three).  Returns a mapping of benchmark name to the written file path.
+    four).  Returns a mapping of benchmark name to the written file path.
     """
     selected = tuple(FAMILIES if families is None else families)
     unknown = [f for f in selected if f not in FAMILIES]
@@ -428,6 +553,11 @@ def run(
         written["reduction"] = write_payload(
             directory / REDUCTION_BENCH,
             make_payload("reduction_pipeline", reduction_records),
+        )
+    if "campaign" in selected:
+        campaign_records = bench_campaign(smoke=smoke, repeats=repeats)
+        written["campaign"] = write_payload(
+            directory / CAMPAIGN_BENCH, make_payload("campaign_run", campaign_records)
         )
     return written
 

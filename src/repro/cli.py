@@ -10,6 +10,9 @@ Usage (after ``pip install -e .``)::
     python -m repro reduce --vertices 40 --edges 25 --palette 3 --oracle greedy-min-degree --lam 5
     python -m repro lemma21 --vertices 20 --edges 10 --palette 2
     python -m repro models --vertices 48 --probability 0.1
+    python -m repro campaign run --spec examples/campaign_demo.json --out campaign-out --workers 4
+    python -m repro campaign status --out campaign-out
+    python -m repro campaign report --out campaign-out
 
 Every subcommand prints a plain-text table; seeds default to fixed values so
 runs are reproducible.
@@ -92,9 +95,43 @@ def _build_parser() -> argparse.ArgumentParser:
         nargs="*",
         metavar="family",
         help=(
-            "benchmark families to run: conflict-graph, maxis, reduction "
-            "(default: all three)"
+            "benchmark families to run: conflict-graph, maxis, reduction, "
+            "campaign (default: all four)"
         ),
+    )
+
+    campaign_parser = sub.add_parser(
+        "campaign",
+        help="run, inspect and aggregate experiment campaigns (fleets of reductions)",
+    )
+    campaign_sub = campaign_parser.add_subparsers(dest="campaign_command", required=True)
+
+    campaign_run = campaign_sub.add_parser(
+        "run", help="execute the pending tasks of a campaign (resumes automatically)"
+    )
+    campaign_run.add_argument("--spec", required=True, help="path to the CampaignSpec JSON file")
+    campaign_run.add_argument("--out", required=True, help="campaign directory (spec.json + results.jsonl)")
+    campaign_run.add_argument(
+        "--workers",
+        type=int,
+        default=0,
+        help="worker processes (0 or 1: the serial reference executor)",
+    )
+    campaign_run.add_argument(
+        "--chunk-size", type=int, default=None, help="tasks per pool dispatch"
+    )
+
+    campaign_status = campaign_sub.add_parser(
+        "status", help="show done/failed/pending task counts of a campaign directory"
+    )
+    campaign_status.add_argument("--out", required=True, help="campaign directory")
+
+    campaign_report = campaign_sub.add_parser(
+        "report", help="print the aggregate records and their deterministic digest"
+    )
+    campaign_report.add_argument("--out", required=True, help="campaign directory")
+    campaign_report.add_argument(
+        "--records", default=None, help="also write the aggregate records to this JSON file"
     )
     return parser
 
@@ -171,6 +208,83 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_campaign(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from repro.exceptions import CampaignError
+    from repro.runtime import (
+        CampaignSpec,
+        CampaignStore,
+        campaign_digest,
+        campaign_records,
+        run_campaign,
+        throughput_record,
+    )
+
+    try:
+        if args.campaign_command == "run":
+            spec_path = Path(args.spec)
+            if not spec_path.exists():
+                print(f"campaign spec not found: {spec_path}", file=sys.stderr)
+                return 2
+            spec = CampaignSpec.from_json(spec_path.read_text(encoding="utf-8"))
+            stats = run_campaign(
+                spec, args.out, workers=args.workers, chunk_size=args.chunk_size
+            )
+            store = CampaignStore(args.out)
+            records = campaign_records(spec, store.rows())
+            print(format_records(throughput_record(spec, [stats]).rows))
+            counts = store.status_counts()
+            print(
+                f"\ncampaign {spec.name!r}: {counts.get('done', 0)}/{spec.num_tasks()} done, "
+                f"{counts.get('failed', 0)} failed "
+                f"({stats.executed} executed, {stats.skipped} resumed)"
+            )
+            print(f"aggregate digest: {campaign_digest(records)}")
+            return 0 if stats.failed == 0 else 1
+
+        store = CampaignStore(args.out)
+        spec = store.load_spec()
+        if args.campaign_command == "status":
+            counts = store.status_counts()
+            done = counts.get("done", 0)
+            failed = counts.get("failed", 0)
+            print(
+                format_records(
+                    [
+                        {
+                            "campaign": spec.name,
+                            "tasks": spec.num_tasks(),
+                            "done": done,
+                            "failed": failed,
+                            "pending": spec.num_tasks() - done,
+                        }
+                    ]
+                )
+            )
+            return 0
+
+        # report
+        records = campaign_records(spec, store.rows())
+        for record in records:
+            print(f"# {record.experiment}: {record.description}")
+            if record.rows:
+                print(format_records(record.rows))
+            else:
+                print("(no completed tasks)")
+            print()
+        print(f"aggregate digest: {campaign_digest(records)}")
+        if args.records:
+            from repro.analysis import write_records
+
+            write_records(records, args.records)
+            print(f"records written to {args.records}")
+        return 0
+    except CampaignError as exc:
+        print(f"campaign error: {exc}", file=sys.stderr)
+        return 2
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """Entry point used by ``python -m repro`` (and tests)."""
     parser = _build_parser()
@@ -181,6 +295,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "models": _cmd_models,
         "registry": _cmd_registry,
         "bench": _cmd_bench,
+        "campaign": _cmd_campaign,
     }
     return handlers[args.command](args)
 

@@ -46,3 +46,7 @@ class LocalityViolation(ModelError):
 
 class VerificationError(ReproError):
     """Raised when a certificate or output fails verification."""
+
+
+class CampaignError(ReproError):
+    """Raised by the experiment-campaign runtime for malformed specs or stores."""

@@ -31,6 +31,8 @@ from repro.hypergraph.io import (
     hypergraph_to_dict,
     hypergraph_to_edge_lines,
     hypergraph_to_json,
+    reduction_result_from_dict,
+    reduction_result_to_dict,
 )
 
 __all__ = [
@@ -58,4 +60,6 @@ __all__ = [
     "hypergraph_to_dict",
     "hypergraph_to_edge_lines",
     "hypergraph_to_json",
+    "reduction_result_from_dict",
+    "reduction_result_to_dict",
 ]

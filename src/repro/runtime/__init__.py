@@ -1,0 +1,55 @@
+"""Parallel, resumable experiment-campaign runtime.
+
+The subsystem turns single Theorem 1.1 reductions into *fleets*: a
+declarative :class:`CampaignSpec` expands a grid of (family × size × k ×
+oracle × λ × replicate) into deterministic tasks, a
+:class:`CampaignStore` persists one JSONL row per task (resumable after a
+kill), :func:`run_campaign` executes the pending tasks serially or on a
+``multiprocessing`` pool with byte-identical results, and the aggregation
+layer rolls everything up into :class:`~repro.analysis.records.ExperimentRecord`
+objects with a deterministic digest.  The ``repro campaign`` CLI
+subcommand is the user-facing entry point.
+"""
+
+from repro.runtime.aggregate import (
+    campaign_digest,
+    campaign_records,
+    color_budget_record,
+    done_rows,
+    failed_rows,
+    phase_decay_record,
+    throughput_record,
+)
+from repro.runtime.scheduler import CampaignRunStats, run_campaign
+from repro.runtime.spec import CampaignSpec, TaskSpec, task_instance_seed
+from repro.runtime.store import CampaignStore
+from repro.runtime.tasks import (
+    FAMILIES,
+    build_instance,
+    execute_task,
+    instance_digest,
+    resolve_oracle,
+    validate_oracle_name,
+)
+
+__all__ = [
+    "CampaignSpec",
+    "TaskSpec",
+    "task_instance_seed",
+    "CampaignStore",
+    "CampaignRunStats",
+    "run_campaign",
+    "FAMILIES",
+    "build_instance",
+    "execute_task",
+    "instance_digest",
+    "resolve_oracle",
+    "validate_oracle_name",
+    "campaign_digest",
+    "campaign_records",
+    "color_budget_record",
+    "done_rows",
+    "failed_rows",
+    "phase_decay_record",
+    "throughput_record",
+]

@@ -1,0 +1,179 @@
+"""Roll-ups of campaign results into :class:`ExperimentRecord` aggregates.
+
+Two *deterministic* records are derived from the stored rows — per-oracle
+phase-decay curves (``C1``) and per-(oracle, k) color budgets (``C2``) —
+plus a timing record (``C3``, throughput in tasks/s) built from the
+scheduler's run stats.  The deterministic records are pure functions of
+the task results: rows are deduplicated by task key (last write wins,
+matching the store) and sorted before any float is accumulated, so the
+same completed task set always produces the same bytes.
+:func:`campaign_digest` pins that down as a SHA-256 over the canonical
+JSON of the deterministic records — the quantity the parallel executor is
+differentially checked against the serial one on.  Timing lives only in
+``C3``, which is deliberately excluded from the digest.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from typing import Any, Dict, Iterable, List, Sequence
+
+from repro.analysis.records import ExperimentRecord
+from repro.runtime.scheduler import CampaignRunStats
+from repro.runtime.spec import CampaignSpec
+
+
+def _partition(rows: Iterable[Dict[str, Any]]) -> tuple:
+    """Deduplicate by task key (last wins, like the store) and split by status.
+
+    Returns ``(done, failed)``, both sorted by task key.
+    """
+    latest: Dict[str, Dict[str, Any]] = {}
+    for row in rows:
+        latest[row["task_key"]] = row
+    done = []
+    failed = []
+    for key in sorted(latest):
+        (done if latest[key]["status"] == "done" else failed).append(latest[key])
+    return done, failed
+
+
+def done_rows(rows: Iterable[Dict[str, Any]]) -> List[Dict[str, Any]]:
+    """The latest ``"done"`` row per task key, sorted by key."""
+    return _partition(rows)[0]
+
+
+def failed_rows(rows: Iterable[Dict[str, Any]]) -> List[Dict[str, Any]]:
+    """The latest rows that are *not* ``"done"``, sorted by task key."""
+    return _partition(rows)[1]
+
+
+def _total_colors(result: Dict[str, Any]) -> int:
+    """Distinct colors of a serialized reduction result (without reconstructing it)."""
+    colors = set()
+    for _vertex, vertex_colors in result["multicoloring"]:
+        colors.update((phase, c) for phase, c in vertex_colors)
+    return len(colors)
+
+
+def _metadata(spec: CampaignSpec, done: Sequence[Dict], failed: Sequence[Dict]) -> Dict[str, Any]:
+    return {
+        "campaign": spec.name,
+        "seed": spec.seed,
+        "spec_digest": spec.digest(),
+        "tasks_total": spec.num_tasks(),
+        "tasks_done": len(done),
+        "tasks_failed": len(failed),
+    }
+
+
+def phase_decay_record(spec: CampaignSpec, rows: Iterable[Dict[str, Any]]) -> ExperimentRecord:
+    """Per-oracle phase-decay curves: mean surviving-edge fraction after each phase.
+
+    Tasks that already finished contribute ``0.0`` to later phases, so the
+    curve is a proper mean over the oracle's whole task population; tasks
+    whose instance had no edges (zero executed phases) are excluded.
+    """
+    done, failed = _partition(rows)
+    record = ExperimentRecord(
+        experiment="C1",
+        description="per-oracle phase decay: mean fraction of edges surviving each phase",
+        metadata=_metadata(spec, done, failed),
+    )
+    by_oracle: Dict[str, List[Dict[str, Any]]] = {}
+    for row in done:
+        if row["result"]["phases"]:
+            by_oracle.setdefault(row["oracle"], []).append(row)
+    for oracle in sorted(by_oracle):
+        tasks = by_oracle[oracle]
+        max_phases = max(len(row["result"]["phases"]) for row in tasks)
+        for phase in range(1, max_phases + 1):
+            remaining_sum = 0.0
+            active = 0
+            for row in tasks:
+                phases = row["result"]["phases"]
+                initial = phases[0]["edges_before"]
+                if len(phases) >= phase:
+                    active += 1
+                    remaining_sum += phases[phase - 1]["edges_after"] / initial
+            record.add_row(
+                oracle=oracle,
+                phase=phase,
+                tasks=len(tasks),
+                active_tasks=active,
+                mean_remaining_fraction=remaining_sum / len(tasks),
+            )
+    return record
+
+
+def color_budget_record(spec: CampaignSpec, rows: Iterable[Dict[str, Any]]) -> ExperimentRecord:
+    """Per-(oracle, k) color budgets: phases and colors used vs. the k·ρ bound."""
+    done, failed = _partition(rows)
+    record = ExperimentRecord(
+        experiment="C2",
+        description="per-(oracle, k) phases and color budgets of the reduction",
+        metadata=_metadata(spec, done, failed),
+    )
+    groups: Dict[tuple, List[Dict[str, Any]]] = {}
+    for row in done:
+        groups.setdefault((row["oracle"], row["k"]), []).append(row)
+    for oracle, k in sorted(groups):
+        tasks = groups[(oracle, k)]
+        num_phases = [len(row["result"]["phases"]) for row in tasks]
+        total_colors = [_total_colors(row["result"]) for row in tasks]
+        color_bounds = [row["result"]["color_bound"] for row in tasks]
+        within = sum(
+            1 for colors, bound in zip(total_colors, color_bounds) if colors <= bound
+        )
+        record.add_row(
+            oracle=oracle,
+            k=k,
+            tasks=len(tasks),
+            mean_phases=sum(num_phases) / len(tasks),
+            max_phases=max(num_phases),
+            mean_total_colors=sum(total_colors) / len(tasks),
+            max_total_colors=max(total_colors),
+            mean_color_bound=sum(color_bounds) / len(tasks),
+            within_color_bound_fraction=within / len(tasks),
+        )
+    return record
+
+
+def campaign_records(spec: CampaignSpec, rows: Iterable[Dict[str, Any]]) -> List[ExperimentRecord]:
+    """The deterministic aggregate: phase decay (C1) and color budgets (C2)."""
+    rows = list(rows)
+    return [phase_decay_record(spec, rows), color_budget_record(spec, rows)]
+
+
+def campaign_digest(records: Sequence[ExperimentRecord]) -> str:
+    """SHA-256 over the canonical JSON of deterministic aggregate records.
+
+    This is the byte-identity criterion for serial-vs-parallel execution:
+    same completed tasks ⇒ same digest, regardless of worker count, task
+    completion order, or how many interrupted runs it took to get there.
+    """
+    payload = json.dumps([record.to_dict() for record in records], sort_keys=True)
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
+def throughput_record(
+    spec: CampaignSpec, stats: Sequence[CampaignRunStats]
+) -> ExperimentRecord:
+    """Timing record (C3): one row per run — excluded from :func:`campaign_digest`."""
+    record = ExperimentRecord(
+        experiment="C3",
+        description="campaign throughput per run (timing; not part of the digest)",
+        metadata={"campaign": spec.name, "seed": spec.seed},
+    )
+    for entry in stats:
+        record.add_row(
+            workers=entry.workers,
+            total_tasks=entry.total_tasks,
+            executed=entry.executed,
+            skipped=entry.skipped,
+            failed=entry.failed,
+            wall_time_s=entry.wall_time_s,
+            tasks_per_s=entry.tasks_per_s,
+        )
+    return record

@@ -1,0 +1,119 @@
+"""Campaign execution: a serial reference executor and a process pool.
+
+Both executors run the same pure :func:`repro.runtime.tasks.execute_task`
+over the pending payloads of a campaign and append each row to the store
+as it completes.  Because task results are pure functions of their payload
+(see :mod:`repro.runtime.spec` for the seed derivation), the parallel
+executor produces byte-identical *content* to the serial one — only the
+JSONL row order and the timing fields differ, and the aggregation layer
+is insensitive to both.  The serial path is therefore the differential
+reference: ``make campaign-smoke`` asserts that a pool run's aggregate
+digest equals the serial one.
+
+Worker processes are plain :mod:`multiprocessing` pool workers with
+chunked task dispatch (``imap_unordered``); the parent is the only writer
+of the JSONL file, so no cross-process file locking is needed.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+from repro.exceptions import CampaignError
+from repro.runtime.spec import CampaignSpec
+from repro.runtime.store import CampaignStore
+from repro.runtime.tasks import execute_task
+
+
+@dataclass
+class CampaignRunStats:
+    """What one ``run_campaign`` call did, for status lines and throughput records."""
+
+    campaign: str
+    total_tasks: int
+    skipped: int
+    executed: int
+    failed: int
+    workers: int
+    wall_time_s: float
+
+    @property
+    def tasks_per_s(self) -> float:
+        """Executed-task throughput of this run (0 when nothing ran)."""
+        if self.executed == 0 or self.wall_time_s <= 0:
+            return 0.0
+        return self.executed / self.wall_time_s
+
+
+def _default_chunk_size(pending: int, workers: int) -> int:
+    """Chunked dispatch: a few chunks per worker balances load vs. IPC overhead."""
+    return max(1, pending // (workers * 4))
+
+
+def run_campaign(
+    spec: CampaignSpec,
+    directory,
+    workers: int = 0,
+    chunk_size: Optional[int] = None,
+    on_row: Optional[Callable[[dict], None]] = None,
+) -> CampaignRunStats:
+    """Execute every pending task of ``spec``, appending results to ``directory``.
+
+    Parameters
+    ----------
+    workers:
+        ``0`` or ``1`` runs in-process (the serial reference executor);
+        ``N > 1`` dispatches chunks to a pool of ``N`` worker processes.
+    chunk_size:
+        Tasks per pool dispatch (defaults to ~4 chunks per worker).
+    on_row:
+        Optional callback invoked with each result row as it is stored
+        (progress reporting).
+
+    Tasks whose key already has a ``"done"`` row are skipped — resuming an
+    interrupted campaign finishes the remainder and converges to the same
+    aggregate.  Returns the run's :class:`CampaignRunStats`.
+    """
+    if workers < 0:
+        raise CampaignError(f"workers must be >= 0, got {workers}")
+    if chunk_size is not None and chunk_size < 1:
+        raise CampaignError(f"chunk_size must be >= 1, got {chunk_size}")
+    store = CampaignStore(directory)
+    store.initialize(spec)
+    payloads = spec.task_payloads()
+    done = store.completed_keys()
+    pending = [p for p in payloads if p["task_key"] not in done]
+
+    failed = 0
+    start = time.perf_counter()
+    if workers > 1 and pending:
+        import multiprocessing
+
+        chunk = chunk_size if chunk_size is not None else _default_chunk_size(
+            len(pending), workers
+        )
+        with multiprocessing.Pool(processes=workers) as pool:
+            for row in pool.imap_unordered(execute_task, pending, chunksize=chunk):
+                store.append(row)
+                failed += row["status"] != "done"
+                if on_row is not None:
+                    on_row(row)
+    else:
+        for payload in pending:
+            row = execute_task(payload)
+            store.append(row)
+            failed += row["status"] != "done"
+            if on_row is not None:
+                on_row(row)
+
+    return CampaignRunStats(
+        campaign=spec.name,
+        total_tasks=len(payloads),
+        skipped=len(payloads) - len(pending),
+        executed=len(pending),
+        failed=failed,
+        workers=max(1, workers),
+        wall_time_s=time.perf_counter() - start,
+    )

@@ -1,0 +1,141 @@
+"""JSONL artifact store for campaign results.
+
+A campaign directory holds two files:
+
+* ``spec.json`` — the :class:`~repro.runtime.spec.CampaignSpec` that owns
+  the directory (written on first use; later runs must present a spec with
+  the same content digest, so two campaigns can never interleave rows);
+* ``results.jsonl`` — one JSON object per line, appended and flushed as
+  each task completes.
+
+The append-and-flush discipline is what makes campaigns resumable: if the
+process is killed mid-run, every fully written line survives, at most the
+final line is truncated, and :meth:`CampaignStore.rows` simply skips lines
+that do not parse.  A resumed run asks :meth:`completed_keys` which tasks
+already have a ``"done"`` row and executes only the remainder — failed
+rows are retried, and a re-completed key supersedes older rows (last
+write wins).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Dict, List, Set
+
+from repro.exceptions import CampaignError
+from repro.runtime.spec import CampaignSpec
+
+SPEC_FILENAME = "spec.json"
+RESULTS_FILENAME = "results.jsonl"
+
+
+class CampaignStore:
+    """Append-only result store rooted at one campaign directory."""
+
+    def __init__(self, directory) -> None:
+        self.directory = Path(directory)
+
+    @property
+    def spec_path(self) -> Path:
+        return self.directory / SPEC_FILENAME
+
+    @property
+    def results_path(self) -> Path:
+        return self.directory / RESULTS_FILENAME
+
+    # ------------------------------------------------------------------
+    # spec identity
+    # ------------------------------------------------------------------
+    def initialize(self, spec: CampaignSpec) -> None:
+        """Create the directory and bind it to ``spec`` (or verify the binding).
+
+        First use writes ``spec.json``; later use re-reads it and raises
+        :class:`CampaignError` when the content digest differs, so a
+        directory can never accumulate rows from two different campaigns.
+        """
+        self.directory.mkdir(parents=True, exist_ok=True)
+        if self.spec_path.exists():
+            existing = self.load_spec()
+            if existing.digest() != spec.digest():
+                raise CampaignError(
+                    f"campaign directory {self.directory} already belongs to campaign "
+                    f"{existing.name!r} (spec digest {existing.digest()[:12]}); refusing "
+                    f"to mix in results for {spec.name!r} ({spec.digest()[:12]})"
+                )
+            return
+        self.spec_path.write_text(spec.to_json() + "\n", encoding="utf-8")
+
+    def load_spec(self) -> CampaignSpec:
+        """Read the spec bound to this directory."""
+        if not self.spec_path.exists():
+            raise CampaignError(
+                f"{self.spec_path} does not exist; is {self.directory} a campaign directory?"
+            )
+        return CampaignSpec.from_json(self.spec_path.read_text(encoding="utf-8"))
+
+    # ------------------------------------------------------------------
+    # rows
+    # ------------------------------------------------------------------
+    def append(self, row: Dict[str, Any]) -> None:
+        """Append one result row, flushed so a kill loses at most this line."""
+        if "task_key" not in row or "status" not in row:
+            raise CampaignError(f"result rows need 'task_key' and 'status', got {sorted(row)!r}")
+        # A kill can leave the file without a trailing newline (a truncated
+        # row); terminate that line first so the new row is not glued onto
+        # the partial one and lost with it.
+        needs_newline = False
+        if self.results_path.exists():
+            with open(self.results_path, "rb") as handle:
+                handle.seek(0, 2)
+                if handle.tell() > 0:
+                    handle.seek(-1, 2)
+                    needs_newline = handle.read(1) != b"\n"
+        with open(self.results_path, "a", encoding="utf-8") as handle:
+            if needs_newline:
+                handle.write("\n")
+            handle.write(json.dumps(row, sort_keys=True) + "\n")
+            handle.flush()
+
+    def rows(self) -> List[Dict[str, Any]]:
+        """Read every well-formed result row, in file order.
+
+        Lines that fail to parse (the truncated tail of a killed run) and
+        lines without a ``task_key`` are skipped — resuming re-executes
+        those tasks, which is always safe because tasks are pure.
+        """
+        if not self.results_path.exists():
+            return []
+        rows: List[Dict[str, Any]] = []
+        with open(self.results_path, "r", encoding="utf-8") as handle:
+            for line in handle:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    row = json.loads(line)
+                except ValueError:
+                    continue
+                if isinstance(row, dict) and "task_key" in row and "status" in row:
+                    rows.append(row)
+        return rows
+
+    def latest_rows(self) -> Dict[str, Dict[str, Any]]:
+        """Map each task key to its most recent row (a retry supersedes a failure)."""
+        latest: Dict[str, Dict[str, Any]] = {}
+        for row in self.rows():
+            latest[row["task_key"]] = row
+        return latest
+
+    def completed_keys(self) -> Set[str]:
+        """Task keys whose latest row is ``"done"`` — the resume skip-set."""
+        return {
+            key for key, row in self.latest_rows().items() if row["status"] == "done"
+        }
+
+    def status_counts(self) -> Dict[str, int]:
+        """Count latest rows per status (``done`` / ``failed`` / …)."""
+        counts: Dict[str, int] = {}
+        for row in self.latest_rows().values():
+            counts[row["status"]] = counts.get(row["status"], 0) + 1
+        return counts

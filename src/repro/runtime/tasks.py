@@ -1,0 +1,148 @@
+"""Task construction and execution for experiment campaigns.
+
+A task payload (produced by :meth:`repro.runtime.spec.CampaignSpec.task_payloads`)
+is a plain dict, so it pickles cheaply across the scheduler's worker pool.
+:func:`execute_task` is a *pure function* of that payload — the instance is
+generated from the payload's derived seed, the oracle comes from the
+registry, and the reduction itself is deterministic — so the result row is
+byte-identical no matter which process runs it.  Only the wall-time fields
+vary between runs; the aggregation layer excludes them from its digest.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import time
+from typing import Any, Dict
+
+from repro.exceptions import CampaignError, ReproError
+from repro.hypergraph import (
+    Hypergraph,
+    almost_uniform_hypergraph,
+    colorable_almost_uniform_hypergraph,
+    random_interval_hypergraph,
+    uniform_random_hypergraph,
+)
+from repro.hypergraph.io import hypergraph_to_json, reduction_result_to_dict
+
+#: Hypergraph families a campaign can sweep over.  Each maps the spec's
+#: ``(n, m, k, epsilon, seed)`` coordinates onto one generator from
+#: :mod:`repro.hypergraph.generators`.
+FAMILIES = ("uniform", "almost-uniform", "colorable", "interval")
+
+#: Prefix selecting the λ-capped variant of a registry oracle (the
+#: worst-case multi-phase regime of ``repro bench reduction``).
+CAPPED_PREFIX = "capped:"
+
+
+def validate_oracle_name(oracle: str) -> None:
+    """Raise :class:`CampaignError` unless ``oracle`` resolves against the registry."""
+    from repro.maxis import available_approximators
+
+    if not isinstance(oracle, str) or not oracle:
+        raise CampaignError(f"oracle name must be a non-empty string, got {oracle!r}")
+    base = oracle[len(CAPPED_PREFIX):] if oracle.startswith(CAPPED_PREFIX) else oracle
+    known = available_approximators()
+    if base not in known:
+        raise CampaignError(
+            f"unknown oracle {oracle!r}; known registry names: {sorted(known)} "
+            f"(prefix with {CAPPED_PREFIX!r} for the λ-capped variant)"
+        )
+
+
+def resolve_oracle(oracle: str, lam: float):
+    """Resolve an oracle spec string to an approximator.
+
+    ``capped:<name>`` wraps the registry oracle ``<name>`` with
+    :func:`repro.bench.capped_oracle` at the task's λ — an oracle that only
+    achieves its worst-case guarantee, which is what makes the paper's
+    ``ρ = λ·ln m + 1`` multi-phase regime observable.
+    """
+    from repro.bench import capped_oracle
+    from repro.maxis import get_approximator
+
+    if oracle.startswith(CAPPED_PREFIX):
+        return capped_oracle(oracle[len(CAPPED_PREFIX):], lam=lam)
+    return get_approximator(oracle)
+
+
+def build_instance(
+    family: str, n: int, m: int, k: int, epsilon: float, seed: int
+) -> Hypergraph:
+    """Generate the task's hypergraph instance from its grid coordinates."""
+    if family == "uniform":
+        return uniform_random_hypergraph(n=n, m=m, edge_size=k, seed=seed)
+    if family == "almost-uniform":
+        return almost_uniform_hypergraph(n=n, m=m, k=k, epsilon=epsilon, seed=seed)
+    if family == "colorable":
+        hypergraph, _planted = colorable_almost_uniform_hypergraph(
+            n=n, m=m, k=k, epsilon=epsilon, seed=seed
+        )
+        return hypergraph
+    if family == "interval":
+        return random_interval_hypergraph(n_points=n, n_intervals=m, seed=seed)
+    raise CampaignError(f"unknown hypergraph family {family!r}; known: {sorted(FAMILIES)}")
+
+
+def instance_digest(hypergraph: Hypergraph) -> str:
+    """Content digest of an instance (stored per task; catches seed drift)."""
+    return hashlib.sha256(hypergraph_to_json(hypergraph).encode("utf-8")).hexdigest()
+
+
+def execute_task(payload: Dict[str, Any]) -> Dict[str, Any]:
+    """Run one campaign task and return its result row (never raises).
+
+    The row always carries ``task_key`` and ``status``; on success it adds
+    the instance digest, the serialized :class:`ReductionResult` and the
+    timing fields, on failure the error type and message.  Library errors
+    (infeasible grid coordinates, oracle violations, …) become
+    ``status="failed"`` rows so one bad grid point cannot take down a
+    campaign; everything else propagates, because it indicates a bug.
+    """
+    start = time.perf_counter()
+    row: Dict[str, Any] = {
+        "task_key": payload["task_key"],
+        "family": payload["family"],
+        "k": payload["k"],
+        "oracle": payload["oracle"],
+        "lam": payload["lam"],
+        "instance_seed": payload["instance_seed"],
+    }
+    try:
+        from repro.core.reduction import ConflictFreeMulticoloringViaMaxIS
+
+        hypergraph = build_instance(
+            family=payload["family"],
+            n=payload["n"],
+            m=payload["m"],
+            k=payload["k"],
+            epsilon=payload["epsilon"],
+            seed=payload["instance_seed"],
+        )
+        oracle = resolve_oracle(payload["oracle"], payload["lam"])
+        reduction = ConflictFreeMulticoloringViaMaxIS(
+            k=payload["k"], approximator=oracle, lam=payload["lam"]
+        )
+        result = reduction.run(hypergraph)
+        row.update(
+            {
+                "status": "done",
+                "n": hypergraph.num_vertices(),
+                "m": hypergraph.num_edges(),
+                "peak_triples": payload["k"] * hypergraph.total_edge_size(),
+                "instance_digest": instance_digest(hypergraph),
+                "result": reduction_result_to_dict(result),
+                "wall_time_s": time.perf_counter() - start,
+                "happy_check_wall_time_s": reduction.last_happy_check_wall_time_s,
+            }
+        )
+    except ReproError as exc:
+        row.update(
+            {
+                "status": "failed",
+                "error_type": type(exc).__name__,
+                "error": str(exc),
+                "wall_time_s": time.perf_counter() - start,
+            }
+        )
+    return row

@@ -1,0 +1,76 @@
+"""Seeded round-trip tests for the ReductionResult (de)serializers.
+
+The campaign artifact store persists one serialized result per task, so
+the round trip must be lossless for everything :func:`assert_equivalent_run`
+asserts on: the multicoloring, every phase record, and the bounds.  The
+instances come from the differential-fuzzing corpus families, so a failing
+seed is reproduced by ``make_instance(<seed>)``.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.core.reduction import ConflictFreeMulticoloringViaMaxIS
+from repro.exceptions import ReproError
+from repro.hypergraph.io import reduction_result_from_dict, reduction_result_to_dict
+from tests.fuzz.corpus import make_instance, make_oracle
+
+
+def _run(instance):
+    reduction = ConflictFreeMulticoloringViaMaxIS(
+        k=instance.k, approximator=make_oracle(instance.oracle_name), lam=2.0
+    )
+    return reduction.run(instance.hypergraph)
+
+
+class TestReductionResultRoundTrip:
+    @pytest.mark.parametrize("seed", range(4000, 4040))
+    def test_round_trip_over_corpus(self, seed):
+        instance = make_instance(seed)
+        result = _run(instance)
+        data = json.loads(json.dumps(reduction_result_to_dict(result), sort_keys=True))
+        restored = reduction_result_from_dict(data)
+        ctx = f"[{instance.label}]"
+        assert restored.multicoloring == result.multicoloring, (
+            f"{ctx} multicoloring did not survive the round trip"
+        )
+        assert restored.phases == result.phases, (
+            f"{ctx} phase records did not survive the round trip"
+        )
+        assert (restored.k, restored.lam) == (result.k, result.lam), f"{ctx} k/lam differ"
+        assert (restored.phase_bound, restored.color_bound) == (
+            result.phase_bound,
+            result.color_bound,
+        ), f"{ctx} bounds differ"
+        assert restored.total_colors == result.total_colors, f"{ctx} total colors differ"
+
+    def test_serialization_is_deterministic(self):
+        instance = make_instance(4100)
+        result = _run(instance)
+        first = json.dumps(reduction_result_to_dict(result), sort_keys=True)
+        second = json.dumps(reduction_result_to_dict(_run(instance)), sort_keys=True)
+        assert first == second
+
+    def test_missing_field_rejected(self):
+        instance = make_instance(4101)
+        data = reduction_result_to_dict(_run(instance))
+        del data["phases"]
+        with pytest.raises(ReproError):
+            reduction_result_from_dict(data)
+
+    def test_malformed_multicoloring_entry_rejected(self):
+        instance = make_instance(4102)
+        data = reduction_result_to_dict(_run(instance))
+        data["multicoloring"] = [[1]]
+        with pytest.raises(ReproError):
+            reduction_result_from_dict(data)
+
+    def test_malformed_color_rejected(self):
+        instance = make_instance(4103)
+        data = reduction_result_to_dict(_run(instance))
+        data["multicoloring"] = [[1, [[1, 2, 3]]]]
+        with pytest.raises(ReproError):
+            reduction_result_from_dict(data)

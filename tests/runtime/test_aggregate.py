@@ -1,0 +1,147 @@
+"""Aggregation tests: determinism, digest semantics, record content."""
+
+from __future__ import annotations
+
+import random
+
+from repro.analysis.records import ExperimentRecord
+from repro.runtime import (
+    CampaignStore,
+    campaign_digest,
+    campaign_records,
+    done_rows,
+    execute_task,
+    failed_rows,
+    phase_decay_record,
+    run_campaign,
+    throughput_record,
+)
+from repro.runtime.scheduler import CampaignRunStats
+
+from tests.runtime.test_spec import small_spec
+
+
+def completed_rows(spec):
+    return [execute_task(p) for p in spec.task_payloads()]
+
+
+class TestDeterminism:
+    def test_records_insensitive_to_row_order(self):
+        spec = small_spec()
+        rows = completed_rows(spec)
+        shuffled = list(rows)
+        random.Random(3).shuffle(shuffled)
+        assert campaign_digest(campaign_records(spec, rows)) == campaign_digest(
+            campaign_records(spec, shuffled)
+        )
+
+    def test_digest_insensitive_to_timing_fields(self):
+        spec = small_spec()
+        rows = completed_rows(spec)
+        slowed = [dict(r, wall_time_s=999.0, happy_check_wall_time_s=99.0) for r in rows]
+        assert campaign_digest(campaign_records(spec, rows)) == campaign_digest(
+            campaign_records(spec, slowed)
+        )
+
+    def test_digest_sensitive_to_result_content(self):
+        spec = small_spec()
+        rows = completed_rows(spec)
+        tampered = [dict(r) for r in rows]
+        tampered[0] = dict(tampered[0], result=dict(tampered[0]["result"], color_bound=1))
+        assert campaign_digest(campaign_records(spec, rows)) != campaign_digest(
+            campaign_records(spec, tampered)
+        )
+
+    def test_last_write_wins_like_the_store(self, tmp_path):
+        spec = small_spec()
+        run_campaign(spec, tmp_path, workers=0)
+        store = CampaignStore(tmp_path)
+        rows = store.rows()
+        # Duplicate an early row as a stale failure *before* its done row.
+        stale = dict(rows[0], status="failed")
+        assert campaign_digest(campaign_records(spec, [stale] + rows)) == campaign_digest(
+            campaign_records(spec, rows)
+        )
+
+
+class TestRowSelection:
+    def test_done_and_failed_partition_latest_rows(self):
+        rows = [
+            {"task_key": "b", "status": "done"},
+            {"task_key": "a", "status": "failed"},
+            {"task_key": "c", "status": "failed"},
+            {"task_key": "c", "status": "done"},
+        ]
+        assert [r["task_key"] for r in done_rows(rows)] == ["b", "c"]
+        assert [r["task_key"] for r in failed_rows(rows)] == ["a"]
+
+
+class TestRecordContent:
+    def test_phase_decay_rows_are_monotone_and_complete(self):
+        spec = small_spec()
+        rows = completed_rows(spec)
+        record = phase_decay_record(spec, rows)
+        assert record.experiment == "C1"
+        assert record.metadata["tasks_done"] == spec.num_tasks()
+        assert record.metadata["tasks_failed"] == 0
+        assert record.metadata["spec_digest"] == spec.digest()
+        by_oracle = {}
+        for row in record.rows:
+            by_oracle.setdefault(row["oracle"], []).append(row)
+        assert set(by_oracle) == set(spec.oracles)
+        for oracle_rows in by_oracle.values():
+            fractions = [r["mean_remaining_fraction"] for r in oracle_rows]
+            assert all(later <= earlier for earlier, later in zip(fractions, fractions[1:]))
+            assert fractions[-1] == 0.0  # every campaign task finished
+            assert all(0 <= f <= 1 for f in fractions)
+            assert all(r["active_tasks"] <= r["tasks"] for r in oracle_rows)
+
+    def test_color_budget_rows_respect_bounds(self):
+        spec = small_spec()
+        record = campaign_records(spec, completed_rows(spec))[1]
+        assert record.experiment == "C2"
+        assert {(r["oracle"], r["k"]) for r in record.rows} == {
+            (oracle, k) for oracle in spec.oracles for k in spec.ks
+        }
+        for row in record.rows:
+            assert row["mean_phases"] <= row["max_phases"]
+            assert row["mean_total_colors"] <= row["max_total_colors"]
+            assert 0 <= row["within_color_bound_fraction"] <= 1
+
+    def test_failed_rows_are_counted_but_not_aggregated(self):
+        spec = small_spec()
+        rows = completed_rows(spec)
+        rows.append({"task_key": "zz-extra", "status": "failed", "error": "boom"})
+        records = campaign_records(spec, rows)
+        for record in records:
+            assert record.metadata["tasks_failed"] == 1
+            assert record.metadata["tasks_done"] == spec.num_tasks()
+
+    def test_records_round_trip_through_experiment_record_json(self):
+        spec = small_spec()
+        for record in campaign_records(spec, completed_rows(spec)):
+            restored = ExperimentRecord.from_json(record.to_json())
+            assert restored.to_dict() == record.to_dict()
+
+    def test_throughput_record_reports_rates(self):
+        spec = small_spec()
+        stats = CampaignRunStats(
+            campaign=spec.name,
+            total_tasks=8,
+            skipped=2,
+            executed=6,
+            failed=1,
+            workers=4,
+            wall_time_s=2.0,
+        )
+        record = throughput_record(spec, [stats])
+        assert record.experiment == "C3"
+        (row,) = record.rows
+        assert row["tasks_per_s"] == 3.0
+        assert row["workers"] == 4
+
+    def test_empty_campaign_produces_empty_rows(self):
+        spec = small_spec()
+        records = campaign_records(spec, [])
+        assert all(record.rows == [] for record in records)
+        assert campaign_digest(records) == campaign_digest(campaign_records(spec, []))

@@ -1,0 +1,151 @@
+"""Scheduler tests: serial-vs-parallel byte identity, resume, failure isolation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import CampaignError
+from repro.runtime import (
+    CampaignSpec,
+    CampaignStore,
+    campaign_digest,
+    campaign_records,
+    execute_task,
+    run_campaign,
+)
+
+from tests.runtime.test_spec import small_spec
+
+
+def digest_of(spec: CampaignSpec, directory) -> str:
+    return campaign_digest(campaign_records(spec, CampaignStore(directory).rows()))
+
+
+class TestSerialExecutor:
+    def test_runs_every_task(self, tmp_path):
+        spec = small_spec()
+        stats = run_campaign(spec, tmp_path, workers=0)
+        assert stats.total_tasks == spec.num_tasks()
+        assert stats.executed == spec.num_tasks()
+        assert stats.skipped == stats.failed == 0
+        assert stats.workers == 1
+        assert stats.tasks_per_s > 0
+        store = CampaignStore(tmp_path)
+        assert store.completed_keys() == {p["task_key"] for p in spec.task_payloads()}
+
+    def test_rerun_skips_everything(self, tmp_path):
+        spec = small_spec()
+        run_campaign(spec, tmp_path, workers=0)
+        again = run_campaign(spec, tmp_path, workers=0)
+        assert again.executed == 0
+        assert again.skipped == spec.num_tasks()
+        assert again.tasks_per_s == 0.0
+
+    def test_negative_workers_rejected(self, tmp_path):
+        with pytest.raises(CampaignError):
+            run_campaign(small_spec(), tmp_path, workers=-1)
+
+    def test_non_positive_chunk_size_rejected(self, tmp_path):
+        with pytest.raises(CampaignError):
+            run_campaign(small_spec(), tmp_path, workers=2, chunk_size=-1)
+        with pytest.raises(CampaignError):
+            run_campaign(small_spec(), tmp_path, workers=2, chunk_size=0)
+
+    def test_on_row_callback_sees_every_row(self, tmp_path):
+        spec = small_spec()
+        seen = []
+        run_campaign(spec, tmp_path, workers=0, on_row=lambda row: seen.append(row["task_key"]))
+        assert sorted(seen) == sorted(p["task_key"] for p in spec.task_payloads())
+
+
+class TestParallelByteIdentity:
+    def test_pool_run_matches_serial_digest(self, tmp_path):
+        spec = small_spec()
+        run_campaign(spec, tmp_path / "serial", workers=0)
+        stats = run_campaign(spec, tmp_path / "pool", workers=2)
+        assert stats.executed == spec.num_tasks()
+        assert stats.workers == 2
+        assert digest_of(spec, tmp_path / "serial") == digest_of(spec, tmp_path / "pool")
+
+    def test_pool_rows_match_serial_rows_except_timing(self, tmp_path):
+        spec = small_spec()
+        run_campaign(spec, tmp_path / "serial", workers=0)
+        run_campaign(spec, tmp_path / "pool", workers=2, chunk_size=1)
+        timing = {"wall_time_s", "happy_check_wall_time_s"}
+        serial = {
+            r["task_key"]: {k: v for k, v in r.items() if k not in timing}
+            for r in CampaignStore(tmp_path / "serial").rows()
+        }
+        pool = {
+            r["task_key"]: {k: v for k, v in r.items() if k not in timing}
+            for r in CampaignStore(tmp_path / "pool").rows()
+        }
+        assert serial == pool
+
+    def test_on_row_callback_fires_in_pool_mode(self, tmp_path):
+        spec = small_spec()
+        seen = []
+        run_campaign(
+            spec, tmp_path, workers=2, on_row=lambda row: seen.append(row["task_key"])
+        )
+        assert len(seen) == spec.num_tasks()
+
+
+class TestResume:
+    def test_resume_after_kill_converges_to_same_aggregate(self, tmp_path):
+        spec = small_spec()
+        run_campaign(spec, tmp_path / "ref", workers=0)
+        reference = digest_of(spec, tmp_path / "ref")
+
+        run_campaign(spec, tmp_path / "killed", workers=0)
+        store = CampaignStore(tmp_path / "killed")
+        lines = store.results_path.read_text().splitlines(keepends=True)
+        # Simulate a kill: drop two completed rows and leave half a line.
+        store.results_path.write_text("".join(lines[:-2]) + '{"task_key": "par')
+        assert len(store.completed_keys()) == spec.num_tasks() - 2
+
+        resumed = run_campaign(spec, tmp_path / "killed", workers=0)
+        assert resumed.skipped == spec.num_tasks() - 2
+        assert resumed.executed == 2
+        assert digest_of(spec, tmp_path / "killed") == reference
+
+    def test_parallel_resume_matches_serial_reference(self, tmp_path):
+        spec = small_spec()
+        run_campaign(spec, tmp_path / "ref", workers=0)
+        store = CampaignStore(tmp_path / "par")
+        store.initialize(spec)
+        # Pre-complete half the campaign out of order, then resume with a pool.
+        payloads = spec.task_payloads()
+        for payload in reversed(payloads[: len(payloads) // 2]):
+            store.append(execute_task(payload))
+        resumed = run_campaign(spec, tmp_path / "par", workers=2)
+        assert resumed.skipped == len(payloads) // 2
+        assert digest_of(spec, tmp_path / "par") == digest_of(spec, tmp_path / "ref")
+
+    def test_directory_bound_to_other_campaign_rejected(self, tmp_path):
+        run_campaign(small_spec(), tmp_path, workers=0)
+        with pytest.raises(CampaignError, match="refusing"):
+            run_campaign(small_spec(seed=99), tmp_path, workers=0)
+
+
+class TestFailureIsolation:
+    def test_infeasible_grid_point_fails_without_stopping_the_campaign(self, tmp_path):
+        # k=9 exceeds n=4 for the uniform generator: every task of that
+        # grid point fails, the rest of the campaign completes.
+        spec = small_spec(
+            families=("uniform",), sizes=((4, 3), (12, 8)), ks=(9,), replicates=1
+        )
+        stats = run_campaign(spec, tmp_path, workers=0)
+        assert stats.executed == spec.num_tasks()
+        assert stats.failed == 2  # the n=4 tasks; k=9 is feasible at n=12
+        counts = CampaignStore(tmp_path).status_counts()
+        assert counts == {"failed": 2, "done": 2}
+        failed = [r for r in CampaignStore(tmp_path).rows() if r["status"] == "failed"]
+        assert all(r["error_type"] == "HypergraphError" for r in failed)
+
+    def test_failed_tasks_are_retried_on_resume(self, tmp_path):
+        spec = small_spec(families=("uniform",), sizes=((4, 3),), ks=(9,), replicates=1)
+        first = run_campaign(spec, tmp_path, workers=0)
+        assert first.failed == spec.num_tasks()
+        again = run_campaign(spec, tmp_path, workers=0)
+        assert again.executed == spec.num_tasks()  # failures are not "done"

@@ -1,0 +1,138 @@
+"""Tests for CampaignSpec: JSON round trip, expansion determinism, validation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import CampaignError
+from repro.runtime import CampaignSpec, task_instance_seed
+
+
+def small_spec(**overrides) -> CampaignSpec:
+    fields = dict(
+        name="unit",
+        seed=11,
+        families=("colorable", "uniform"),
+        sizes=((12, 8), (16, 10)),
+        ks=(2,),
+        oracles=("greedy-first-fit", "capped:greedy-first-fit"),
+        lams=(2.0,),
+        replicates=2,
+    )
+    fields.update(overrides)
+    return CampaignSpec(**fields)
+
+
+class TestRoundTrip:
+    def test_json_round_trip(self):
+        spec = small_spec()
+        restored = CampaignSpec.from_json(spec.to_json())
+        assert restored == spec
+        assert restored.digest() == spec.digest()
+        assert restored.to_dict() == spec.to_dict()
+
+    def test_defaults_survive_round_trip(self):
+        spec = small_spec(replicates=1, epsilon=0.5)
+        data = spec.to_dict()
+        del data["replicates"], data["epsilon"]
+        assert CampaignSpec.from_dict(data) == spec
+
+    def test_digest_tracks_content(self):
+        assert small_spec().digest() != small_spec(seed=12).digest()
+        assert small_spec().digest() == small_spec().digest()
+
+
+class TestExpansion:
+    def test_num_tasks_matches_expansion(self):
+        spec = small_spec()
+        tasks = spec.expand()
+        assert len(tasks) == spec.num_tasks() == 2 * 2 * 1 * 2 * 1 * 2
+
+    def test_task_keys_are_unique_and_stable(self):
+        spec = small_spec()
+        keys = [t.task_key for t in spec.expand()]
+        assert len(set(keys)) == len(keys)
+        assert keys == [t.task_key for t in spec.expand()]
+        assert keys[0] == (
+            "family=colorable n=12 m=8 k=2 oracle=greedy-first-fit lam=2 rep=0"
+        )
+
+    def test_payloads_carry_derived_instance_seeds(self):
+        spec = small_spec()
+        for payload in spec.task_payloads():
+            assert payload["instance_seed"] == task_instance_seed(
+                spec.seed, payload["task_key"]
+            )
+
+    def test_instance_seed_depends_on_campaign_seed_and_key(self):
+        key = small_spec().expand()[0].task_key
+        assert task_instance_seed(11, key) != task_instance_seed(12, key)
+        assert task_instance_seed(11, key) != task_instance_seed(11, key + "x")
+        assert task_instance_seed(11, key) == task_instance_seed(11, key)
+
+
+class TestValidation:
+    @pytest.mark.parametrize(
+        "overrides",
+        [
+            {"name": ""},
+            {"name": 3},
+            {"seed": "seven"},
+            {"families": ()},
+            {"families": ("klingon",)},
+            {"families": ("uniform", "uniform")},
+            {"sizes": ((12,),)},
+            {"sizes": ((0, 5),)},
+            {"sizes": (("a", 5),)},
+            {"ks": (0,)},
+            {"ks": (2.5,)},
+            {"oracles": ("not-an-oracle",)},
+            {"oracles": ("capped:not-an-oracle",)},
+            {"oracles": ("",)},
+            {"lams": (0.5,)},
+            {"lams": ("two",)},
+            {"lams": (2, 2.0)},  # alias to the same task key after :g formatting
+            {"replicates": 0},
+            {"epsilon": 0.0},
+            {"epsilon": 1.5},
+        ],
+    )
+    def test_malformed_spec_rejected(self, overrides):
+        with pytest.raises(CampaignError):
+            small_spec(**overrides)
+
+    def test_from_dict_missing_field_rejected(self):
+        data = small_spec().to_dict()
+        del data["oracles"]
+        with pytest.raises(CampaignError, match="missing"):
+            CampaignSpec.from_dict(data)
+
+    def test_from_dict_unknown_field_rejected(self):
+        data = small_spec().to_dict()
+        data["surprise"] = 1
+        with pytest.raises(CampaignError, match="unknown"):
+            CampaignSpec.from_dict(data)
+
+    def test_from_dict_non_list_axis_rejected(self):
+        data = small_spec().to_dict()
+        data["ks"] = 2
+        with pytest.raises(CampaignError, match="list"):
+            CampaignSpec.from_dict(data)
+
+    def test_from_dict_bad_size_pair_rejected(self):
+        data = small_spec().to_dict()
+        data["sizes"] = [[12, 8, 3]]
+        with pytest.raises(CampaignError):
+            CampaignSpec.from_dict(data)
+
+    def test_from_json_invalid_json_rejected(self):
+        with pytest.raises(CampaignError, match="JSON"):
+            CampaignSpec.from_json("{not json")
+
+    def test_from_dict_non_dict_rejected(self):
+        with pytest.raises(CampaignError):
+            CampaignSpec.from_dict([1, 2, 3])
+
+    def test_capped_oracle_names_accepted(self):
+        spec = small_spec(oracles=("capped:greedy-min-degree",))
+        assert spec.oracles == ("capped:greedy-min-degree",)

@@ -1,0 +1,101 @@
+"""Tests for the JSONL artifact store: identity, resume, kill tolerance."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.exceptions import CampaignError
+from repro.runtime import CampaignSpec, CampaignStore
+
+from tests.runtime.test_spec import small_spec
+
+
+def row(key: str, status: str = "done", **extra) -> dict:
+    data = {"task_key": key, "status": status}
+    data.update(extra)
+    return data
+
+
+class TestSpecBinding:
+    def test_initialize_writes_spec(self, tmp_path):
+        store = CampaignStore(tmp_path / "camp")
+        spec = small_spec()
+        store.initialize(spec)
+        assert store.spec_path.is_file()
+        assert store.load_spec() == spec
+
+    def test_initialize_idempotent_for_same_spec(self, tmp_path):
+        store = CampaignStore(tmp_path)
+        store.initialize(small_spec())
+        store.initialize(small_spec())  # same digest: fine
+
+    def test_initialize_rejects_different_spec(self, tmp_path):
+        store = CampaignStore(tmp_path)
+        store.initialize(small_spec())
+        with pytest.raises(CampaignError, match="refusing"):
+            store.initialize(small_spec(seed=99))
+
+    def test_load_spec_without_directory_rejected(self, tmp_path):
+        with pytest.raises(CampaignError, match="campaign directory"):
+            CampaignStore(tmp_path / "nope").load_spec()
+
+
+class TestRows:
+    def test_append_and_read_round_trip(self, tmp_path):
+        store = CampaignStore(tmp_path)
+        store.initialize(small_spec())
+        store.append(row("a", wall_time_s=0.5))
+        store.append(row("b", status="failed", error="boom"))
+        rows = store.rows()
+        assert [r["task_key"] for r in rows] == ["a", "b"]
+        assert store.completed_keys() == {"a"}
+        assert store.status_counts() == {"done": 1, "failed": 1}
+
+    def test_append_requires_key_and_status(self, tmp_path):
+        store = CampaignStore(tmp_path)
+        with pytest.raises(CampaignError):
+            store.append({"task_key": "a"})
+
+    def test_retry_supersedes_failure(self, tmp_path):
+        store = CampaignStore(tmp_path)
+        store.append(row("a", status="failed"))
+        store.append(row("a"))
+        assert store.completed_keys() == {"a"}
+        assert store.status_counts() == {"done": 1}
+
+    def test_truncated_tail_line_is_skipped(self, tmp_path):
+        store = CampaignStore(tmp_path)
+        store.append(row("a"))
+        store.append(row("b"))
+        text = store.results_path.read_text()
+        # Simulate a kill mid-write: the final line is half a JSON object.
+        store.results_path.write_text(text[: len(text) - 10])
+        assert [r["task_key"] for r in store.rows()] == ["a"]
+        assert store.completed_keys() == {"a"}
+
+    def test_append_after_truncated_tail_starts_fresh_line(self, tmp_path):
+        store = CampaignStore(tmp_path)
+        store.append(row("a"))
+        text = store.results_path.read_text()
+        store.results_path.write_text(text + '{"task_key": "partial')
+        store.append(row("b"))
+        assert store.completed_keys() == {"a", "b"}
+
+    def test_garbage_and_blank_lines_are_skipped(self, tmp_path):
+        store = CampaignStore(tmp_path)
+        store.append(row("a"))
+        with open(store.results_path, "a") as handle:
+            handle.write("\n")
+            handle.write("not json at all\n")
+            handle.write(json.dumps(["a", "list"]) + "\n")
+            handle.write(json.dumps({"no_task_key": 1}) + "\n")
+        store.append(row("b"))
+        assert [r["task_key"] for r in store.rows()] == ["a", "b"]
+
+    def test_rows_empty_without_results_file(self, tmp_path):
+        store = CampaignStore(tmp_path)
+        assert store.rows() == []
+        assert store.completed_keys() == set()
+        assert store.status_counts() == {}

@@ -1,0 +1,89 @@
+"""Task-execution tests: purity, instance digests, oracle resolution."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.reduction import ConflictFreeMulticoloringViaMaxIS
+from repro.exceptions import CampaignError
+from repro.hypergraph.io import reduction_result_from_dict
+from repro.maxis import MaxISApproximator
+from repro.runtime import (
+    FAMILIES,
+    build_instance,
+    execute_task,
+    instance_digest,
+    resolve_oracle,
+)
+
+from tests.runtime.test_spec import small_spec
+
+
+class TestBuildInstance:
+    @pytest.mark.parametrize("family", FAMILIES)
+    def test_families_build_and_are_seed_deterministic(self, family):
+        first = build_instance(family, n=14, m=8, k=2, epsilon=0.5, seed=42)
+        second = build_instance(family, n=14, m=8, k=2, epsilon=0.5, seed=42)
+        assert instance_digest(first) == instance_digest(second)
+        other = build_instance(family, n=14, m=8, k=2, epsilon=0.5, seed=43)
+        assert instance_digest(first) != instance_digest(other)
+
+    def test_unknown_family_rejected(self):
+        with pytest.raises(CampaignError):
+            build_instance("klingon", n=5, m=2, k=1, epsilon=0.5, seed=0)
+
+
+class TestResolveOracle:
+    def test_registry_name_resolves(self):
+        oracle = resolve_oracle("greedy-first-fit", lam=2.0)
+        assert isinstance(oracle, MaxISApproximator)
+        assert oracle.name == "greedy-first-fit"
+
+    def test_capped_prefix_wraps_with_task_lambda(self):
+        oracle = resolve_oracle("capped:greedy-first-fit", lam=3.0)
+        assert isinstance(oracle, MaxISApproximator)
+        assert "1/3" in oracle.name
+
+
+class TestExecuteTask:
+    def test_row_is_pure_except_timing(self):
+        payload = small_spec().task_payloads()[0]
+        timing = {"wall_time_s", "happy_check_wall_time_s"}
+        first = {k: v for k, v in execute_task(payload).items() if k not in timing}
+        second = {k: v for k, v in execute_task(payload).items() if k not in timing}
+        assert first == second
+
+    def test_done_row_matches_direct_reduction(self):
+        payload = small_spec().task_payloads()[0]
+        row = execute_task(payload)
+        assert row["status"] == "done"
+        assert row["task_key"] == payload["task_key"]
+        hypergraph = build_instance(
+            payload["family"],
+            n=payload["n"],
+            m=payload["m"],
+            k=payload["k"],
+            epsilon=payload["epsilon"],
+            seed=payload["instance_seed"],
+        )
+        assert row["instance_digest"] == instance_digest(hypergraph)
+        assert row["peak_triples"] == payload["k"] * hypergraph.total_edge_size()
+        reduction = ConflictFreeMulticoloringViaMaxIS(
+            k=payload["k"],
+            approximator=resolve_oracle(payload["oracle"], payload["lam"]),
+            lam=payload["lam"],
+        )
+        expected = reduction.run(hypergraph)
+        restored = reduction_result_from_dict(row["result"])
+        assert restored.multicoloring == expected.multicoloring
+        assert restored.phases == expected.phases
+        assert row["wall_time_s"] >= 0
+
+    def test_infeasible_payload_yields_failed_row(self):
+        payload = small_spec().task_payloads()[0]
+        payload = dict(payload, family="uniform", k=payload["n"] + 1)
+        row = execute_task(payload)
+        assert row["status"] == "failed"
+        assert row["error_type"] == "HypergraphError"
+        assert "result" not in row
+        assert row["wall_time_s"] >= 0

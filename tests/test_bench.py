@@ -23,7 +23,8 @@ class TestHarness:
         assert (out / bench.CONFLICT_GRAPH_BENCH).is_file()
         assert (out / bench.MAXIS_BENCH).is_file()
         assert (out / bench.REDUCTION_BENCH).is_file()
-        assert set(written) == {"conflict_graph", "maxis", "reduction"}
+        assert (out / bench.CAMPAIGN_BENCH).is_file()
+        assert set(written) == {"conflict_graph", "maxis", "reduction", "campaign"}
 
     def test_conflict_graph_payload_schema(self, smoke_run):
         out, _ = smoke_run
@@ -65,6 +66,25 @@ class TestHarness:
         full = [r for r in payload["records"] if "@" not in r["oracle"]]
         # The λ-capped regime needs strictly more phases than full strength.
         assert min(r["num_phases"] for r in capped) >= max(r["num_phases"] for r in full)
+
+    def test_campaign_payload_schema(self, smoke_run):
+        out, _ = smoke_run
+        payload = json.loads((out / bench.CAMPAIGN_BENCH).read_text())
+        bench.validate_bench_payload(payload)
+        assert payload["benchmark"] == "campaign_run"
+        labels = [r["label"] for r in payload["records"]]
+        assert labels[0] == "serial"
+        assert any(label.startswith("workers=") for label in labels[1:])
+        digests = {r["digest"] for r in payload["records"]}
+        # Byte-identical aggregates: serial and pool runs share one digest.
+        assert len(digests) == 1
+        serial = payload["records"][0]
+        assert serial["workers"] == 1
+        assert serial["speedup"] == 1.0
+        for record in payload["records"]:
+            assert record["tasks"] == record["n"]
+            assert record["m"] == record["tasks"]  # every task completed
+            assert record["tasks_per_s"] > 0
 
     def test_run_rejects_unknown_family(self, tmp_path):
         with pytest.raises(ValueError):

@@ -51,3 +51,99 @@ class TestCLI:
 
     def test_module_entry_point_importable(self):
         import repro.__main__  # noqa: F401  (import must not execute main)
+
+
+class TestCampaignCLI:
+    SPEC = {
+        "name": "cli-campaign",
+        "seed": 5,
+        "families": ["colorable"],
+        "sizes": [[10, 6]],
+        "ks": [2],
+        "oracles": ["greedy-first-fit", "capped:greedy-first-fit"],
+        "lams": [2.0],
+        "replicates": 2,
+    }
+
+    @pytest.fixture
+    def spec_path(self, tmp_path):
+        import json
+
+        path = tmp_path / "spec.json"
+        path.write_text(json.dumps(self.SPEC))
+        return path
+
+    def test_run_status_report_round_trip(self, spec_path, tmp_path, capsys):
+        out = tmp_path / "campaign"
+        assert main(
+            ["campaign", "run", "--spec", str(spec_path), "--out", str(out)]
+        ) == 0
+        run_output = capsys.readouterr().out
+        assert "4/4 done" in run_output
+        assert "aggregate digest: " in run_output
+        digest = run_output.rsplit("aggregate digest: ", 1)[1].strip()
+
+        assert main(["campaign", "status", "--out", str(out)]) == 0
+        status_output = capsys.readouterr().out
+        assert "cli-campaign" in status_output
+        assert "pending" in status_output
+
+        records_path = tmp_path / "records.json"
+        assert main(
+            ["campaign", "report", "--out", str(out), "--records", str(records_path)]
+        ) == 0
+        report_output = capsys.readouterr().out
+        assert "C1" in report_output and "C2" in report_output
+        assert digest in report_output
+        assert records_path.is_file()
+
+        from repro.analysis import read_records
+
+        experiments = [record.experiment for record in read_records(str(records_path))]
+        assert experiments == ["C1", "C2"]
+
+    def test_run_with_workers_matches_serial_digest(self, spec_path, tmp_path, capsys):
+        assert main(
+            ["campaign", "run", "--spec", str(spec_path), "--out", str(tmp_path / "a")]
+        ) == 0
+        serial = capsys.readouterr().out.rsplit("aggregate digest: ", 1)[1].strip()
+        assert main(
+            [
+                "campaign", "run",
+                "--spec", str(spec_path),
+                "--out", str(tmp_path / "b"),
+                "--workers", "2",
+            ]
+        ) == 0
+        parallel = capsys.readouterr().out.rsplit("aggregate digest: ", 1)[1].strip()
+        assert serial == parallel
+
+    def test_run_resumes_completed_campaign(self, spec_path, tmp_path, capsys):
+        out = tmp_path / "campaign"
+        main(["campaign", "run", "--spec", str(spec_path), "--out", str(out)])
+        capsys.readouterr()
+        assert main(["campaign", "run", "--spec", str(spec_path), "--out", str(out)]) == 0
+        assert "4 resumed" in capsys.readouterr().out
+
+    def test_missing_spec_file_errors(self, tmp_path, capsys):
+        code = main(
+            ["campaign", "run", "--spec", str(tmp_path / "nope.json"), "--out", str(tmp_path)]
+        )
+        assert code == 2
+        assert "not found" in capsys.readouterr().err
+
+    def test_malformed_spec_errors(self, tmp_path, capsys):
+        bad = tmp_path / "bad.json"
+        bad.write_text('{"name": "x"}')
+        code = main(["campaign", "run", "--spec", str(bad), "--out", str(tmp_path / "out")])
+        assert code == 2
+        assert "campaign error" in capsys.readouterr().err
+
+    def test_status_on_non_campaign_directory_errors(self, tmp_path, capsys):
+        code = main(["campaign", "status", "--out", str(tmp_path / "nothing")])
+        assert code == 2
+        assert "campaign error" in capsys.readouterr().err
+
+    def test_missing_campaign_subcommand_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["campaign"])
