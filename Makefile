@@ -27,8 +27,9 @@ bench-smoke:
 	$(PYTHON) -m repro bench --smoke --out-dir $(SMOKE_DIR) --repeats 1
 	$(PYTHON) scripts/validate_bench.py $(SMOKE_DIR)
 
-# Tiny 8-task campaign: serial executor, 2-worker pool and a simulated
-# kill+resume must all produce byte-identical aggregates.
+# Tiny 8-task campaign: serial executor, 2-shard split fused by
+# merge_shards, a persistent 2-worker pool (warm start asserted) and a
+# simulated kill+resume must all produce byte-identical aggregates.
 campaign-smoke:
 	$(PYTHON) scripts/campaign_smoke.py
 

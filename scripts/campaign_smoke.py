@@ -1,12 +1,15 @@
 #!/usr/bin/env python
-"""Campaign-runtime smoke gate: serial vs. pool byte identity plus resume.
+"""Campaign-runtime smoke gate: serial ≡ sharded-merged ≡ warm-pool, plus resume.
 
 Runs the tiny committed 8-task spec (``examples/campaign_smoke.json``)
-three ways and asserts all aggregates are byte-identical:
+four ways and asserts all aggregates are byte-identical:
 
 1. the serial reference executor;
-2. a 2-worker process pool;
-3. the serial executor resumed after a simulated kill (the last JSONL row
+2. both halves of a 2-shard split (``shard=(i, 2)``), fused back into one
+   store with ``merge_shards`` — the multi-machine path on one machine;
+3. a persistent 2-worker ``WorkerPool`` reused for two runs, the second
+   of which must report a warm start;
+4. the serial executor resumed after a simulated kill (the last JSONL row
    replaced by half a line).
 
 Usage: ``python scripts/campaign_smoke.py`` (from the repository root; run
@@ -26,13 +29,16 @@ sys.path.insert(0, str(REPO_ROOT / "src"))
 from repro.runtime import (  # noqa: E402
     CampaignSpec,
     CampaignStore,
+    WorkerPool,
     campaign_digest,
     campaign_records,
+    merge_shards,
     run_campaign,
 )
 
 SPEC_PATH = REPO_ROOT / "examples" / "campaign_smoke.json"
 SCRATCH = REPO_ROOT / ".campaign-smoke"
+N_SHARDS = 2
 
 
 def digest_of(spec: CampaignSpec, directory: Path) -> str:
@@ -49,28 +55,55 @@ def main() -> int:
         return 1
     serial_digest = digest_of(spec, SCRATCH / "serial")
     print(
-        f"serial:   {serial.executed} tasks in {serial.wall_time_s:.3f}s "
-        f"({serial.tasks_per_s:.1f}/s)  digest {serial_digest[:12]}"
+        f"serial:    {serial.executed} tasks in {serial.wall_time_s:.3f}s "
+        f"({serial.tasks_per_s:.1f}/s, {serial.cache_hits} cache hits)  "
+        f"digest {serial_digest[:12]}"
     )
 
-    pool = run_campaign(spec, SCRATCH / "pool", workers=2)
-    pool_digest = digest_of(spec, SCRATCH / "pool")
+    # 2-shard split, each shard serial, fused by merge_shards.
+    shard_dirs = [SCRATCH / f"shard{i}" for i in range(N_SHARDS)]
+    executed = 0
+    for index, shard_dir in enumerate(shard_dirs):
+        stats = run_campaign(spec, shard_dir, shard=(index, N_SHARDS))
+        executed += stats.executed
+    merge_shards(SCRATCH / "merged", shard_dirs)
+    merged_digest = digest_of(spec, SCRATCH / "merged")
     print(
-        f"workers=2: {pool.executed} tasks in {pool.wall_time_s:.3f}s "
-        f"({pool.tasks_per_s:.1f}/s)  digest {pool_digest[:12]}"
+        f"shards={N_SHARDS}:  {executed} tasks across {N_SHARDS} shard stores  "
+        f"digest {merged_digest[:12]}"
     )
-    if pool_digest != serial_digest:
+    if executed != spec.num_tasks():
+        print("campaign-smoke: FAIL — shards did not cover the full task set")
+        return 1
+    if merged_digest != serial_digest:
+        print("campaign-smoke: FAIL — merged shard aggregate differs from serial")
+        return 1
+
+    # Persistent pool: the second run through the same pool starts warm.
+    with WorkerPool(2) as pool:
+        run_campaign(spec, SCRATCH / "pool-cold", pool=pool)
+        warm = run_campaign(spec, SCRATCH / "pool-warm", pool=pool)
+    warm_digest = digest_of(spec, SCRATCH / "pool-warm")
+    print(
+        f"warm pool: {warm.executed} tasks in {warm.wall_time_s:.3f}s "
+        f"({warm.tasks_per_s:.1f}/s, warm={warm.pool_warm}, "
+        f"{warm.cache_hits} cache hits)  digest {warm_digest[:12]}"
+    )
+    if not warm.pool_warm:
+        print("campaign-smoke: FAIL — second pool run did not report a warm start")
+        return 1
+    if warm_digest != serial_digest or digest_of(spec, SCRATCH / "pool-cold") != serial_digest:
         print("campaign-smoke: FAIL — pool aggregate differs from the serial reference")
         return 1
 
     # Simulated kill: drop the final row mid-line, then resume.
-    store = CampaignStore(SCRATCH / "pool")
+    store = CampaignStore(SCRATCH / "merged")
     lines = store.results_path.read_text(encoding="utf-8").splitlines(keepends=True)
     store.results_path.write_text("".join(lines[:-1]) + '{"task_key": "par', encoding="utf-8")
-    resumed = run_campaign(spec, SCRATCH / "pool", workers=0)
-    resumed_digest = digest_of(spec, SCRATCH / "pool")
+    resumed = run_campaign(spec, SCRATCH / "merged", workers=0)
+    resumed_digest = digest_of(spec, SCRATCH / "merged")
     print(
-        f"resume:   {resumed.executed} executed / {resumed.skipped} skipped  "
+        f"resume:    {resumed.executed} executed / {resumed.skipped} skipped  "
         f"digest {resumed_digest[:12]}"
     )
     if resumed.executed != 1 or resumed.skipped != spec.num_tasks() - 1:
@@ -80,7 +113,7 @@ def main() -> int:
         print("campaign-smoke: FAIL — resumed aggregate differs from the serial reference")
         return 1
 
-    print("campaign-smoke: OK")
+    print(f"campaign-smoke: OK (serial ≡ {N_SHARDS}-shard-merged ≡ warm-pool ≡ resumed)")
     return 0
 
 

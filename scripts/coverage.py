@@ -38,10 +38,12 @@ TARGET_PACKAGES = ("repro/core", "repro/maxis", "repro/graphs", "repro/runtime")
 #: introduced.  PR 4 added src/repro/runtime (98.4% at introduction) and
 #: fixed the trace._Ignore module-name cache poisoning that had been
 #: dropping __init__.py (and runtime/tasks.py) from the counts, lifting
-#: the measured aggregate to 95.3% — the floor ratchets up accordingly.
+#: the measured aggregate to 95.3% (floor 94).  PR 5's shard/worker-pool/
+#: instance-cache runtime plus its campaign fuzz harness measured 95.6%
+#: (runtime 98.9%) — the floor ratchets up to 95.
 #: pytest-cov counts lines slightly differently; the common floor is
 #: conservative for both backends.
-FAIL_UNDER = 94
+FAIL_UNDER = 95
 
 
 def _have_pytest_cov() -> bool:

@@ -17,9 +17,11 @@ trajectories:
   (:meth:`~repro.core.reduction.ConflictFreeMulticoloringViaMaxIS.run_rebuild`),
   per workload and oracle regime, with result equality asserted;
 * ``BENCH_campaign.json`` — throughput (tasks/s) of the campaign runtime
-  (:mod:`repro.runtime`): the serial reference executor vs. worker pools
-  on one fixed campaign, with the deterministic aggregate digest asserted
-  equal across every configuration.
+  (:mod:`repro.runtime`): the serial reference executor vs. per-call
+  worker pools vs. a sharded run fused by ``merge_shards`` vs. a
+  persistent warm ``WorkerPool``, all on one fixed campaign, with the
+  deterministic aggregate digest asserted equal across every
+  configuration.
 
 JSON schema (``schema_version`` 1): the top level carries
 ``schema_version``, ``benchmark``, ``generated_by`` and ``records``; every
@@ -28,8 +30,11 @@ being processed), ``wall_time_s`` and ``peak_triples`` (``|V(G_k)|``, the
 high-water number of conflict triples the workload materializes).
 Conflict-graph records add ``k``, ``num_edges``, ``legacy_wall_time_s``
 and ``speedup``; MIS records add ``algorithm`` and ``is_size``; campaign
-records add ``workers``, ``tasks``, ``tasks_per_s`` and ``speedup`` (vs.
-the serial executor; plus the informational ``digest``); reduction
+records add ``workers``, ``tasks``, ``tasks_per_s``, ``speedup`` (vs.
+the serial executor), ``shards`` (1 unless the run was shard-split),
+``pool_warm`` (persistent pool reused across runs) and ``cache_hits``
+(instance builds served by the per-process cache; plus the informational
+``digest``); reduction
 records add ``k``, ``num_phases``, ``total_colors``,
 ``rebuild_wall_time_s``, ``happy_check_wall_time_s`` (seconds the
 incremental engine's incidence-driven happiness tracker spent across all
@@ -366,39 +371,84 @@ def _campaign_bench_spec(smoke: bool):
     )
 
 
+#: Shard count of the sharded-execution benchmark configuration.
+CAMPAIGN_BENCH_SHARDS = 2
+
+
 def bench_campaign(
     smoke: bool = False,
     repeats: int = 3,
     worker_counts: Optional[Sequence[int]] = None,
 ) -> List[Dict[str, object]]:
-    """Time campaign execution: the serial reference vs. worker pools.
+    """Time campaign execution: serial vs. pools vs. shards vs. warm pools.
 
-    Every configuration runs the same spec into a fresh scratch directory
-    (best wall time over ``repeats``); each run's deterministic aggregate
-    digest must equal the serial one — the byte-identity contract of the
-    scheduler — or the benchmark aborts.  ``tasks_per_s`` is the
-    throughput deliverable; ``speedup`` is relative to the serial
-    executor on the same machine (bounded by the available cores).
+    Four execution shapes over the same spec, each into fresh scratch
+    directories (best wall time over ``repeats``): the serial reference,
+    per-call worker pools, a sharded run (every shard executed serially,
+    then fused with ``merge_shards`` — the multi-machine path on one
+    machine), and a persistent ``WorkerPool`` kept warm across the
+    repeats.  Every run's deterministic aggregate digest must equal the
+    serial one — the byte-identity contract of the scheduler — or the
+    benchmark aborts.  ``tasks_per_s`` is the throughput deliverable;
+    ``speedup`` is relative to the serial executor on the same machine
+    (bounded by the available cores); ``cache_hits`` counts instance
+    builds served from the per-process :class:`InstanceCache` (the
+    process-local cache is cleared before each run, so serial hits are
+    pure within-run oracle/λ sharing).
     """
     import shutil
     import tempfile
 
-    from repro.runtime import CampaignStore, campaign_digest, campaign_records, run_campaign
+    from repro.runtime import (
+        INSTANCE_CACHE,
+        CampaignStore,
+        WorkerPool,
+        campaign_digest,
+        campaign_records,
+        merge_shards,
+        run_campaign,
+    )
 
     spec = _campaign_bench_spec(smoke)
     if worker_counts is None:
         worker_counts = CAMPAIGN_WORKER_COUNTS[:1] if smoke else CAMPAIGN_WORKER_COUNTS
 
-    def run_once(workers: int):
+    def summarize(store: CampaignStore):
+        rows = store.rows()
+        digest = campaign_digest(campaign_records(spec, rows))
+        done = [r for r in rows if r["status"] == "done"]
+        peak = max((r["peak_triples"] for r in done), default=0)
+        return digest, len(done), peak
+
+    def run_serial_or_pool(scratch, workers: int):
+        stats = run_campaign(spec, scratch, workers=workers)
+        return [stats], CampaignStore(scratch)
+
+    def run_sharded(scratch, _workers: int):
+        shard_dirs = [
+            Path(scratch) / f"shard{i}" for i in range(CAMPAIGN_BENCH_SHARDS)
+        ]
+        stats = [
+            run_campaign(spec, shard_dir, shard=(i, CAMPAIGN_BENCH_SHARDS))
+            for i, shard_dir in enumerate(shard_dirs)
+        ]
+        return stats, merge_shards(Path(scratch) / "merged", shard_dirs)
+
+    def make_warm_runner(pool: WorkerPool):
+        def run_warm(scratch, _workers: int):
+            return [run_campaign(spec, scratch, pool=pool)], CampaignStore(scratch)
+
+        return run_warm
+
+    def run_once(runner, workers: int):
         scratch = tempfile.mkdtemp(prefix="bench-campaign-")
         try:
-            stats = run_campaign(spec, scratch, workers=workers)
-            store = CampaignStore(scratch)
-            rows = store.rows()
-            digest = campaign_digest(campaign_records(spec, rows))
-            done = [r for r in rows if r["status"] == "done"]
-            peak = max((r["peak_triples"] for r in done), default=0)
-            return stats, digest, len(done), peak
+            INSTANCE_CACHE.clear()
+            start = time.perf_counter()
+            stats_list, store = runner(scratch, workers)
+            wall = time.perf_counter() - start
+            digest, done, peak = summarize(store)
+            return stats_list, wall, digest, done, peak
         finally:
             shutil.rmtree(scratch, ignore_errors=True)
 
@@ -410,43 +460,67 @@ def bench_campaign(
     except AttributeError:  # pragma: no cover - non-Linux fallback
         cpus = os.cpu_count() or 1
 
-    configurations = [("serial", 0)] + [(f"workers={w}", w) for w in worker_counts]
+    warm_workers = worker_counts[0]
+    warm_pool = WorkerPool(warm_workers)
+    # (label, runner, workers, shards): the warm pool is primed by an
+    # unrecorded run below so every *measured* warm repeat reuses live
+    # workers (and their instance caches) — that is the deliverable.
+    configurations = (
+        [("serial", run_serial_or_pool, 0, 1)]
+        + [(f"workers={w}", run_serial_or_pool, w, 1) for w in worker_counts]
+        + [
+            (f"shards={CAMPAIGN_BENCH_SHARDS}", run_sharded, 0, CAMPAIGN_BENCH_SHARDS),
+            (f"workers={warm_workers}-warm", make_warm_runner(warm_pool), warm_workers, 1),
+        ]
+    )
     records: List[Dict[str, object]] = []
     reference_digest: Optional[str] = None
     serial_s: Optional[float] = None
-    for label, workers in configurations:
-        best_s = float("inf")
-        digest = ""
-        done = peak = 0
-        for _ in range(max(1, repeats)):
-            stats, digest, done, peak = run_once(workers)
-            if reference_digest is None:
-                reference_digest = digest
-            if digest != reference_digest:
-                raise AssertionError(
-                    f"campaign aggregate digest diverged under {label!r}: "
-                    f"{digest[:12]} != serial {reference_digest[:12]}"
-                )
-            best_s = min(best_s, stats.wall_time_s)
-        if workers == 0:
-            serial_s = best_s
-        records.append(
-            {
-                "label": label,
-                "n": spec.num_tasks(),
-                "m": done,
-                "k": spec.ks[0],
-                "peak_triples": peak,
-                "workers": max(1, workers),
-                "cpus": cpus,
-                "tasks": spec.num_tasks(),
-                "wall_time_s": best_s,
-                "tasks_per_s": spec.num_tasks() / best_s if best_s > 0 else None,
-                # None (not inf) when the timer underflows, as above.
-                "speedup": serial_s / best_s if best_s > 0 else None,
-                "digest": digest[:12],
-            }
-        )
+    try:
+        for label, runner, workers, shards in configurations:
+            best_s = float("inf")
+            digest = ""
+            done = peak = cache_hits = 0
+            pool_warm = False
+            if label.endswith("-warm"):
+                run_once(runner, workers)  # prime the pool (unrecorded)
+            for _ in range(max(1, repeats)):
+                stats_list, wall, digest, done, peak = run_once(runner, workers)
+                if reference_digest is None:
+                    reference_digest = digest
+                if digest != reference_digest:
+                    raise AssertionError(
+                        f"campaign aggregate digest diverged under {label!r}: "
+                        f"{digest[:12]} != serial {reference_digest[:12]}"
+                    )
+                if wall < best_s:
+                    best_s = wall
+                    cache_hits = sum(s.cache_hits for s in stats_list)
+                    pool_warm = all(s.pool_warm for s in stats_list)
+            if workers == 0 and shards == 1:
+                serial_s = best_s
+            records.append(
+                {
+                    "label": label,
+                    "n": spec.num_tasks(),
+                    "m": done,
+                    "k": spec.ks[0],
+                    "peak_triples": peak,
+                    "workers": max(1, workers),
+                    "cpus": cpus,
+                    "tasks": spec.num_tasks(),
+                    "shards": shards,
+                    "pool_warm": pool_warm,
+                    "cache_hits": cache_hits,
+                    "wall_time_s": best_s,
+                    "tasks_per_s": spec.num_tasks() / best_s if best_s > 0 else None,
+                    # None (not inf) when the timer underflows, as above.
+                    "speedup": serial_s / best_s if best_s > 0 else None,
+                    "digest": digest[:12],
+                }
+            )
+    finally:
+        warm_pool.close()
     return records
 
 
@@ -473,7 +547,15 @@ _BENCHMARK_KEYS: Dict[str, Tuple[str, ...]] = {
         "speedup",
     ),
     "maxis_solve": ("algorithm", "is_size"),
-    "campaign_run": ("workers", "tasks", "tasks_per_s", "speedup"),
+    "campaign_run": (
+        "workers",
+        "tasks",
+        "tasks_per_s",
+        "speedup",
+        "shards",
+        "cache_hits",
+        "pool_warm",
+    ),
     "reduction_pipeline": (
         "k",
         "num_phases",

@@ -11,6 +11,8 @@ Usage (after ``pip install -e .``)::
     python -m repro lemma21 --vertices 20 --edges 10 --palette 2
     python -m repro models --vertices 48 --probability 0.1
     python -m repro campaign run --spec examples/campaign_demo.json --out campaign-out --workers 4
+    python -m repro campaign run --spec examples/campaign_demo.json --out shard-0 --shard 0/2
+    python -m repro campaign merge --out campaign-out shard-0 shard-1
     python -m repro campaign status --out campaign-out
     python -m repro campaign report --out campaign-out
 
@@ -120,6 +122,30 @@ def _build_parser() -> argparse.ArgumentParser:
     campaign_run.add_argument(
         "--chunk-size", type=int, default=None, help="tasks per pool dispatch"
     )
+    campaign_run.add_argument(
+        "--shard",
+        default=None,
+        metavar="I/N",
+        help=(
+            "run only shard I of N (stable sha256 partition of the task keys; "
+            "give each machine its own --out directory and fuse them with "
+            "'campaign merge')"
+        ),
+    )
+
+    campaign_merge = campaign_sub.add_parser(
+        "merge",
+        help="fuse shard campaign directories (same spec) into one store",
+    )
+    campaign_merge.add_argument(
+        "--out", required=True, help="destination campaign directory"
+    )
+    campaign_merge.add_argument(
+        "shards",
+        nargs="+",
+        metavar="SHARD_DIR",
+        help="shard campaign directories, merged in order (later rows win per task)",
+    )
 
     campaign_status = campaign_sub.add_parser(
         "status", help="show done/failed/pending task counts of a campaign directory"
@@ -208,6 +234,19 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def _parse_shard(text: str):
+    """Parse a ``--shard I/N`` argument (range-checked later by the runtime)."""
+    from repro.exceptions import CampaignError
+
+    try:
+        index_text, _, count_text = text.partition("/")
+        return int(index_text), int(count_text)
+    except ValueError as exc:
+        raise CampaignError(
+            f"--shard must look like I/N (e.g. 0/4), got {text!r}"
+        ) from exc
+
+
 def _cmd_campaign(args: argparse.Namespace) -> int:
     from pathlib import Path
 
@@ -217,6 +256,7 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
         CampaignStore,
         campaign_digest,
         campaign_records,
+        merge_shards,
         run_campaign,
         throughput_record,
     )
@@ -228,25 +268,53 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
                 print(f"campaign spec not found: {spec_path}", file=sys.stderr)
                 return 2
             spec = CampaignSpec.from_json(spec_path.read_text(encoding="utf-8"))
+            shard = _parse_shard(args.shard) if args.shard is not None else None
             stats = run_campaign(
-                spec, args.out, workers=args.workers, chunk_size=args.chunk_size
+                spec,
+                args.out,
+                workers=args.workers,
+                chunk_size=args.chunk_size,
+                shard=shard,
             )
             store = CampaignStore(args.out)
             records = campaign_records(spec, store.rows())
             print(format_records(throughput_record(spec, [stats]).rows))
             counts = store.status_counts()
+            scope = (
+                f"shard {shard[0]}/{shard[1]} ({stats.executed + stats.skipped} tasks) of "
+                if shard is not None
+                else ""
+            )
             print(
-                f"\ncampaign {spec.name!r}: {counts.get('done', 0)}/{spec.num_tasks()} done, "
+                f"\ncampaign {spec.name!r}: {scope}"
+                f"{counts.get('done', 0)}/{spec.num_tasks()} done, "
                 f"{counts.get('failed', 0)} failed "
                 f"({stats.executed} executed, {stats.skipped} resumed)"
             )
+            print(
+                f"instance cache: {stats.cache_hits} hits / {stats.cache_misses} misses"
+            )
             print(f"aggregate digest: {campaign_digest(records)}")
             return 0 if stats.failed == 0 else 1
+
+        if args.campaign_command == "merge":
+            merged = merge_shards(args.out, args.shards)
+            spec = merged.load_spec()
+            records = campaign_records(spec, merged.rows())
+            counts = merged.status_counts()
+            print(
+                f"merged {len(args.shards)} shard store(s) into {args.out}: "
+                f"campaign {spec.name!r}, {counts.get('done', 0)}/{spec.num_tasks()} done, "
+                f"{counts.get('failed', 0)} failed"
+            )
+            print(f"aggregate digest: {campaign_digest(records)}")
+            return 0
 
         store = CampaignStore(args.out)
         spec = store.load_spec()
         if args.campaign_command == "status":
             counts = store.status_counts()
+            cache = store.cache_counts()
             done = counts.get("done", 0)
             failed = counts.get("failed", 0)
             print(
@@ -258,6 +326,8 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
                             "done": done,
                             "failed": failed,
                             "pending": spec.num_tasks() - done,
+                            "cache_hits": cache["cache_hits"],
+                            "cache_misses": cache["cache_misses"],
                         }
                     ]
                 )

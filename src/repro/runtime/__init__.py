@@ -1,14 +1,18 @@
-"""Parallel, resumable experiment-campaign runtime.
+"""Parallel, resumable, shard-aware experiment-campaign runtime.
 
 The subsystem turns single Theorem 1.1 reductions into *fleets*: a
 declarative :class:`CampaignSpec` expands a grid of (family × size × k ×
 oracle × λ × replicate) into deterministic tasks, a
 :class:`CampaignStore` persists one JSONL row per task (resumable after a
-kill), :func:`run_campaign` executes the pending tasks serially or on a
-``multiprocessing`` pool with byte-identical results, and the aggregation
-layer rolls everything up into :class:`~repro.analysis.records.ExperimentRecord`
-objects with a deterministic digest.  The ``repro campaign`` CLI
-subcommand is the user-facing entry point.
+kill), :func:`run_campaign` executes the pending tasks serially, on a
+per-call ``multiprocessing`` pool, or on a persistent :class:`WorkerPool`
+— optionally restricted to one sha256-stable shard of the grid — with
+byte-identical results, and the aggregation layer rolls everything up
+into :class:`~repro.analysis.records.ExperimentRecord` objects with a
+deterministic digest.  Shard stores fuse back into one via
+:func:`merge_shards`; instance generation is memoized per worker by
+:class:`InstanceCache`.  The ``repro campaign`` CLI subcommand is the
+user-facing entry point.
 """
 
 from repro.runtime.aggregate import (
@@ -20,14 +24,23 @@ from repro.runtime.aggregate import (
     phase_decay_record,
     throughput_record,
 )
-from repro.runtime.scheduler import CampaignRunStats, run_campaign
-from repro.runtime.spec import CampaignSpec, TaskSpec, task_instance_seed
-from repro.runtime.store import CampaignStore
+from repro.runtime.scheduler import CampaignRunStats, WorkerPool, run_campaign
+from repro.runtime.spec import (
+    CampaignSpec,
+    TaskSpec,
+    check_shard,
+    task_instance_seed,
+    task_shard_index,
+)
+from repro.runtime.store import CampaignStore, merge_shards
 from repro.runtime.tasks import (
     FAMILIES,
+    INSTANCE_CACHE,
+    InstanceCache,
     build_instance,
     execute_task,
     instance_digest,
+    instance_key,
     resolve_oracle,
     validate_oracle_name,
 )
@@ -36,13 +49,20 @@ __all__ = [
     "CampaignSpec",
     "TaskSpec",
     "task_instance_seed",
+    "task_shard_index",
+    "check_shard",
     "CampaignStore",
+    "merge_shards",
     "CampaignRunStats",
+    "WorkerPool",
     "run_campaign",
     "FAMILIES",
+    "INSTANCE_CACHE",
+    "InstanceCache",
     "build_instance",
     "execute_task",
     "instance_digest",
+    "instance_key",
     "resolve_oracle",
     "validate_oracle_name",
     "campaign_digest",

@@ -175,5 +175,9 @@ def throughput_record(
             failed=entry.failed,
             wall_time_s=entry.wall_time_s,
             tasks_per_s=entry.tasks_per_s,
+            shard="-" if entry.shard is None else f"{entry.shard[0]}/{entry.shard[1]}",
+            pool_warm=entry.pool_warm,
+            cache_hits=entry.cache_hits,
+            cache_misses=entry.cache_misses,
         )
     return record

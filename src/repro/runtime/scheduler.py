@@ -1,28 +1,42 @@
-"""Campaign execution: a serial reference executor and a process pool.
+"""Campaign execution: serial reference, per-call pools, persistent pools.
 
-Both executors run the same pure :func:`repro.runtime.tasks.execute_task`
+All executors run the same pure :func:`repro.runtime.tasks.execute_task`
 over the pending payloads of a campaign and append each row to the store
 as it completes.  Because task results are pure functions of their payload
-(see :mod:`repro.runtime.spec` for the seed derivation), the parallel
-executor produces byte-identical *content* to the serial one — only the
-JSONL row order and the timing fields differ, and the aggregation layer
-is insensitive to both.  The serial path is therefore the differential
-reference: ``make campaign-smoke`` asserts that a pool run's aggregate
-digest equals the serial one.
+(see :mod:`repro.runtime.spec` for the seed derivation), every executor
+produces byte-identical *content* to the serial one — only the JSONL row
+order, the timing fields and the ``instance_cache_hit`` flags differ, and
+the aggregation layer is insensitive to all three.  The serial path is
+therefore the differential reference: ``make campaign-smoke`` and the
+campaign fuzz harness assert that pool, sharded and resumed runs all
+reproduce its aggregate digest.
 
-Worker processes are plain :mod:`multiprocessing` pool workers with
-chunked task dispatch (``imap_unordered``); the parent is the only writer
-of the JSONL file, so no cross-process file locking is needed.
+Three execution shapes:
+
+* ``workers=0`` (or 1) — the in-process serial reference executor;
+* ``workers=N`` — a per-call :mod:`multiprocessing` pool with chunked
+  dispatch (``imap_unordered``), paying pool startup on every call;
+* ``pool=WorkerPool(N)`` — a *persistent* pool the caller keeps open
+  across ``run_campaign`` calls (and bench repeats), so worker startup
+  and the workers' per-process instance caches are amortized; the run's
+  :class:`CampaignRunStats` records whether it started warm.
+
+The parent process is the only writer of the JSONL file in every shape,
+so no cross-process file locking is needed.  ``shard=(i, n)`` restricts a
+run to one sha256-stable shard of the task grid (see
+:func:`repro.runtime.spec.task_shard_index`) for multi-machine campaigns;
+:func:`repro.runtime.store.merge_shards` fuses the shard stores back into
+one, provably identical to a monolithic run.
 """
 
 from __future__ import annotations
 
 import time
 from dataclasses import dataclass
-from typing import Callable, Optional
+from typing import Callable, Iterable, Optional, Tuple
 
 from repro.exceptions import CampaignError
-from repro.runtime.spec import CampaignSpec
+from repro.runtime.spec import CampaignSpec, check_shard, task_shard_index
 from repro.runtime.store import CampaignStore
 from repro.runtime.tasks import execute_task
 
@@ -38,6 +52,15 @@ class CampaignRunStats:
     failed: int
     workers: int
     wall_time_s: float
+    #: ``(index, n_shards)`` when the run executed one shard of the grid.
+    shard: Optional[Tuple[int, int]] = None
+    #: True when the run was served by an already-started persistent pool
+    #: (no worker spawn cost on this call).
+    pool_warm: bool = False
+    #: Instance-cache hits/misses across the rows executed by this run
+    #: (counted from the rows, so pool workers are included).
+    cache_hits: int = 0
+    cache_misses: int = 0
 
     @property
     def tasks_per_s(self) -> float:
@@ -45,6 +68,69 @@ class CampaignRunStats:
         if self.executed == 0 or self.wall_time_s <= 0:
             return 0.0
         return self.executed / self.wall_time_s
+
+    @property
+    def cache_hit_ratio(self) -> float:
+        """Fraction of executed instance builds served from cache (0 when none ran)."""
+        total = self.cache_hits + self.cache_misses
+        return self.cache_hits / total if total else 0.0
+
+
+class WorkerPool:
+    """A persistent worker pool reused across ``run_campaign`` calls.
+
+    A context manager wrapping one :mod:`multiprocessing` pool whose
+    processes survive between campaign runs, amortizing both the pool
+    startup and the workers' per-process
+    :data:`~repro.runtime.tasks.INSTANCE_CACHE` across calls (and across
+    bench repeats).  The underlying pool is started *lazily* on the first
+    dispatch, so handing a fresh ``WorkerPool`` to a fully-completed
+    campaign spawns no processes at all.
+    """
+
+    def __init__(self, workers: int) -> None:
+        if not isinstance(workers, int) or isinstance(workers, bool) or workers < 1:
+            raise CampaignError(f"WorkerPool needs workers >= 1, got {workers!r}")
+        self.workers = workers
+        #: How many run_campaign calls dispatched tasks through this pool.
+        self.runs_served = 0
+        self._pool = None
+        self._closed = False
+
+    @property
+    def started(self) -> bool:
+        """True once the underlying processes exist (first dispatch)."""
+        return self._pool is not None
+
+    @property
+    def warm(self) -> bool:
+        """True when a new run would reuse already-running workers."""
+        return self._pool is not None and self.runs_served > 0
+
+    def imap_unordered(self, fn, iterable: Iterable, chunksize: int = 1):
+        """Dispatch ``fn`` over ``iterable``, starting the pool on first use."""
+        if self._closed:
+            raise CampaignError("WorkerPool is closed; create a new one")
+        if self._pool is None:
+            import multiprocessing
+
+            self._pool = multiprocessing.Pool(processes=self.workers)
+        self.runs_served += 1
+        return self._pool.imap_unordered(fn, iterable, chunksize=chunksize)
+
+    def close(self) -> None:
+        """Shut the workers down (idempotent); the pool cannot be restarted."""
+        self._closed = True
+        if self._pool is not None:
+            self._pool.close()
+            self._pool.join()
+            self._pool = None
+
+    def __enter__(self) -> "WorkerPool":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
 
 
 def _default_chunk_size(pending: int, workers: int) -> int:
@@ -58,6 +144,8 @@ def run_campaign(
     workers: int = 0,
     chunk_size: Optional[int] = None,
     on_row: Optional[Callable[[dict], None]] = None,
+    shard: Optional[Tuple[int, int]] = None,
+    pool: Optional[WorkerPool] = None,
 ) -> CampaignRunStats:
     """Execute every pending task of ``spec``, appending results to ``directory``.
 
@@ -65,55 +153,116 @@ def run_campaign(
     ----------
     workers:
         ``0`` or ``1`` runs in-process (the serial reference executor);
-        ``N > 1`` dispatches chunks to a pool of ``N`` worker processes.
+        ``N > 1`` dispatches chunks to a fresh pool of ``N`` worker
+        processes torn down when the call returns.
     chunk_size:
         Tasks per pool dispatch (defaults to ~4 chunks per worker).
     on_row:
         Optional callback invoked with each result row as it is stored
         (progress reporting).
+    shard:
+        ``(index, n_shards)`` restricts the run to the tasks whose key
+        hashes to that shard (:func:`~repro.runtime.spec.task_shard_index`);
+        the store should then be shard-scoped and later fused with
+        :func:`~repro.runtime.store.merge_shards`.
+    pool:
+        A persistent :class:`WorkerPool` to dispatch through instead of a
+        per-call pool (``workers`` is then ignored for execution); keeps
+        worker processes and their instance caches warm across calls.
 
     Tasks whose key already has a ``"done"`` row are skipped — resuming an
     interrupted campaign finishes the remainder and converges to the same
-    aggregate.  Returns the run's :class:`CampaignRunStats`.
+    aggregate — and when nothing is pending the call returns before any
+    worker process is spawned.  Returns the run's :class:`CampaignRunStats`.
     """
     if workers < 0:
         raise CampaignError(f"workers must be >= 0, got {workers}")
     if chunk_size is not None and chunk_size < 1:
         raise CampaignError(f"chunk_size must be >= 1, got {chunk_size}")
+    if shard is not None:
+        try:
+            index, n_shards = shard
+        except (TypeError, ValueError) as exc:
+            raise CampaignError(
+                f"shard must be an (index, n_shards) pair, got {shard!r}"
+            ) from exc
+        check_shard(index, n_shards)
     store = CampaignStore(directory)
     store.initialize(spec)
     payloads = spec.task_payloads()
-    done = store.completed_keys()
-    pending = [p for p in payloads if p["task_key"] not in done]
+    total = len(payloads)
+    if shard is not None:
+        payloads = [
+            p for p in payloads if task_shard_index(p["task_key"], n_shards) == index
+        ]
+    # A task is complete only if its latest row is "done" *and* was built
+    # from the instance seed this spec derives today — so a store written
+    # under an older seed-derivation scheme is transparently re-executed
+    # (the fresh rows supersede the stale ones, last write wins) instead
+    # of silently mixing two schemes in one aggregate.
+    latest = store.latest_rows()
 
-    failed = 0
-    start = time.perf_counter()
-    if workers > 1 and pending:
-        import multiprocessing
-
-        chunk = chunk_size if chunk_size is not None else _default_chunk_size(
-            len(pending), workers
+    def is_complete(payload: dict) -> bool:
+        row = latest.get(payload["task_key"])
+        return (
+            row is not None
+            and row["status"] == "done"
+            and row.get("instance_seed") == payload["instance_seed"]
         )
-        with multiprocessing.Pool(processes=workers) as pool:
+
+    pending = [p for p in payloads if not is_complete(p)]
+
+    effective_workers = pool.workers if pool is not None else max(1, workers)
+    pool_warm = pool is not None and pool.started
+    failed = cache_hits = cache_misses = 0
+
+    def record(row: dict) -> None:
+        nonlocal failed, cache_hits, cache_misses
+        store.append(row)
+        failed += row["status"] != "done"
+        if "instance_cache_hit" in row:
+            if row["instance_cache_hit"]:
+                cache_hits += 1
+            else:
+                cache_misses += 1
+        if on_row is not None:
+            on_row(row)
+
+    start = time.perf_counter()
+    # Short-circuit before any pool is spawned (or a persistent pool is
+    # started) when a resume finds nothing left to do.
+    if pending:
+        if pool is not None:
+            chunk = chunk_size if chunk_size is not None else _default_chunk_size(
+                len(pending), pool.workers
+            )
             for row in pool.imap_unordered(execute_task, pending, chunksize=chunk):
-                store.append(row)
-                failed += row["status"] != "done"
-                if on_row is not None:
-                    on_row(row)
-    else:
-        for payload in pending:
-            row = execute_task(payload)
-            store.append(row)
-            failed += row["status"] != "done"
-            if on_row is not None:
-                on_row(row)
+                record(row)
+        elif workers > 1:
+            import multiprocessing
+
+            chunk = chunk_size if chunk_size is not None else _default_chunk_size(
+                len(pending), workers
+            )
+            with multiprocessing.Pool(processes=workers) as mp_pool:
+                for row in mp_pool.imap_unordered(
+                    execute_task, pending, chunksize=chunk
+                ):
+                    record(row)
+        else:
+            for payload in pending:
+                record(execute_task(payload))
 
     return CampaignRunStats(
         campaign=spec.name,
-        total_tasks=len(payloads),
+        total_tasks=total,
         skipped=len(payloads) - len(pending),
         executed=len(pending),
         failed=failed,
-        workers=max(1, workers),
+        workers=effective_workers,
         wall_time_s=time.perf_counter() - start,
+        shard=shard,
+        pool_warm=pool_warm,
+        cache_hits=cache_hits,
+        cache_misses=cache_misses,
     )

@@ -9,10 +9,19 @@ deterministic, ordered list of tasks.
 Determinism is the core contract: every task is identified by a stable
 ``task_key`` string derived only from its grid coordinates, and the RNG
 seed used to generate its instance is a pure function of
-``(campaign seed, task key)`` (:func:`task_instance_seed`).  Results are
-therefore byte-identical regardless of how many workers execute the
-campaign or in which order tasks complete — the property the scheduler's
-serial executor differentially checks.
+``(campaign seed, instance key)`` (:func:`task_instance_seed` over
+:attr:`TaskSpec.instance_key` — the grid coordinates that actually shape
+the instance, i.e. excluding oracle and λ, so every oracle of a campaign
+is evaluated on identical instances).  Results are therefore
+byte-identical regardless of how many workers execute the campaign or in
+which order tasks complete — the property the scheduler's serial executor
+differentially checks.
+
+Sharding follows the same discipline: :func:`task_shard_index` assigns
+each task key to one of ``n`` shards via sha256 (never Python's
+randomized ``hash()``), so a multi-machine campaign can run
+``CampaignSpec.shard(i, n)`` per machine and the merged shard stores are
+provably the same row set as a monolithic run.
 """
 
 from __future__ import annotations
@@ -23,22 +32,48 @@ from dataclasses import dataclass
 from typing import Any, Dict, List, Tuple
 
 from repro.exceptions import CampaignError
-from repro.runtime.tasks import FAMILIES, validate_oracle_name
+from repro.runtime.tasks import FAMILIES, instance_key, validate_oracle_name
 
 #: Spec fields required in the JSON exchange format.
 _REQUIRED_FIELDS = ("name", "seed", "families", "sizes", "ks", "oracles", "lams")
 
 
-def task_instance_seed(campaign_seed: int, task_key: str) -> int:
-    """Derive the instance-generator seed for one task, stably.
+def task_instance_seed(campaign_seed: int, key: str) -> int:
+    """Derive the instance-generator seed for one instance key, stably.
 
-    The seed is the first eight bytes of ``sha256("<campaign_seed>|<task_key>")``
-    — a pure function of the campaign seed and the task's grid coordinates,
-    so a task generates the same instance no matter which worker runs it,
-    when, or after how many resumes.
+    The seed is the first eight bytes of ``sha256("<campaign_seed>|<key>")``
+    — a pure function of the campaign seed and the task's instance-shaping
+    grid coordinates (:attr:`TaskSpec.instance_key`), so a task generates
+    the same instance no matter which worker runs it, when, or after how
+    many resumes — and tasks differing only in oracle or λ generate the
+    *same* instance, which is what makes campaign-level instance caching
+    (and apples-to-apples oracle comparisons) possible.
     """
-    digest = hashlib.sha256(f"{campaign_seed}|{task_key}".encode("utf-8")).digest()
+    digest = hashlib.sha256(f"{campaign_seed}|{key}".encode("utf-8")).digest()
     return int.from_bytes(digest[:8], "big")
+
+
+def check_shard(index: int, n_shards: int) -> None:
+    """Raise :class:`CampaignError` unless ``index``/``n_shards`` is a valid shard slot."""
+    if not isinstance(n_shards, int) or isinstance(n_shards, bool) or n_shards < 1:
+        raise CampaignError(f"shard count must be a positive int, got {n_shards!r}")
+    if not isinstance(index, int) or isinstance(index, bool) or not 0 <= index < n_shards:
+        raise CampaignError(
+            f"shard index must lie in [0, {n_shards}), got {index!r}"
+        )
+
+
+def task_shard_index(task_key: str, n_shards: int) -> int:
+    """Assign ``task_key`` to one of ``n_shards`` shards, stably.
+
+    The assignment hashes the key with sha256 — *not* Python's per-process
+    randomized ``hash()`` — so every machine of a multi-machine campaign
+    computes the same partition, and the shard stores merge back into
+    exactly the monolithic row set.
+    """
+    check_shard(0, n_shards)
+    digest = hashlib.sha256(task_key.encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "big") % n_shards
 
 
 @dataclass(frozen=True)
@@ -55,17 +90,32 @@ class TaskSpec:
 
     @property
     def task_key(self) -> str:
-        """Stable identifier of this grid point (resume and RNG derivation key)."""
+        """Stable identifier of this grid point (resume and shard-assignment key)."""
         return (
             f"family={self.family} n={self.n} m={self.m} k={self.k} "
             f"oracle={self.oracle} lam={self.lam:g} rep={self.replicate}"
         )
 
+    def instance_key(self, epsilon: float) -> str:
+        """Stable identifier of this task's *instance* (RNG derivation key).
+
+        Excludes the oracle and λ (and generator-ignored coordinates), so
+        grid points differing only in those axes share one instance —
+        see :func:`repro.runtime.tasks.instance_key`.
+        """
+        return instance_key(
+            family=self.family,
+            n=self.n,
+            m=self.m,
+            k=self.k,
+            epsilon=epsilon,
+            replicate=self.replicate,
+        )
+
     def payload(self, campaign_seed: int, epsilon: float) -> Dict[str, Any]:
         """Return the plain-dict form handed to the (possibly remote) executor."""
-        key = self.task_key
         return {
-            "task_key": key,
+            "task_key": self.task_key,
             "family": self.family,
             "n": self.n,
             "m": self.m,
@@ -74,7 +124,9 @@ class TaskSpec:
             "lam": self.lam,
             "replicate": self.replicate,
             "epsilon": epsilon,
-            "instance_seed": task_instance_seed(campaign_seed, key),
+            "instance_seed": task_instance_seed(
+                campaign_seed, self.instance_key(epsilon)
+            ),
         }
 
 
@@ -103,7 +155,8 @@ class CampaignSpec:
         Campaign identifier (recorded in aggregates and the stored spec).
     seed:
         Campaign seed; per-task instance seeds are derived from it and the
-        task key via :func:`task_instance_seed`.
+        task's *instance key* via :func:`task_instance_seed` (so tasks
+        differing only in oracle/λ share an instance).
     families:
         Hypergraph families to sweep (see :data:`repro.runtime.tasks.FAMILIES`).
     sizes:
@@ -233,6 +286,22 @@ class CampaignSpec:
     def task_payloads(self) -> List[Dict[str, Any]]:
         """Expand into executor payload dicts (with derived instance seeds)."""
         return [task.payload(self.seed, self.epsilon) for task in self.expand()]
+
+    def shard(self, index: int, n_shards: int) -> List[TaskSpec]:
+        """The tasks of shard ``index`` of ``n_shards``, in expansion order.
+
+        The partition is by :func:`task_shard_index` over the task key:
+        deterministic, process-independent (sha256, no ``hash()``
+        randomization), pairwise disjoint, and covering — the union over
+        all ``n_shards`` shards is exactly :meth:`expand`.  ``n_shards=1``
+        returns the full task list.
+        """
+        check_shard(index, n_shards)
+        return [
+            task
+            for task in self.expand()
+            if task_shard_index(task.task_key, n_shards) == index
+        ]
 
     # ------------------------------------------------------------------
     # JSON round trip

@@ -15,6 +15,12 @@ that do not parse.  A resumed run asks :meth:`completed_keys` which tasks
 already have a ``"done"`` row and executes only the remainder — failed
 rows are retried, and a re-completed key supersedes older rows (last
 write wins).
+
+Sharded campaigns write one such directory per shard (all bound to the
+same spec, because every shard store carries the full spec and refuses
+foreign digests); :func:`merge_shards` fuses them back into a single
+store whose row set — and therefore aggregate digest — is provably
+identical to a monolithic run's.
 """
 
 from __future__ import annotations
@@ -77,20 +83,26 @@ class CampaignStore:
     # ------------------------------------------------------------------
     # rows
     # ------------------------------------------------------------------
+    def _needs_tail_newline(self) -> bool:
+        """True when a kill left the file without a trailing newline.
+
+        The next write must terminate that truncated line first, so a new
+        row is not glued onto the partial one and lost with it.
+        """
+        if not self.results_path.exists():
+            return False
+        with open(self.results_path, "rb") as handle:
+            handle.seek(0, 2)
+            if handle.tell() == 0:
+                return False
+            handle.seek(-1, 2)
+            return handle.read(1) != b"\n"
+
     def append(self, row: Dict[str, Any]) -> None:
         """Append one result row, flushed so a kill loses at most this line."""
         if "task_key" not in row or "status" not in row:
             raise CampaignError(f"result rows need 'task_key' and 'status', got {sorted(row)!r}")
-        # A kill can leave the file without a trailing newline (a truncated
-        # row); terminate that line first so the new row is not glued onto
-        # the partial one and lost with it.
-        needs_newline = False
-        if self.results_path.exists():
-            with open(self.results_path, "rb") as handle:
-                handle.seek(0, 2)
-                if handle.tell() > 0:
-                    handle.seek(-1, 2)
-                    needs_newline = handle.read(1) != b"\n"
+        needs_newline = self._needs_tail_newline()
         with open(self.results_path, "a", encoding="utf-8") as handle:
             if needs_newline:
                 handle.write("\n")
@@ -139,3 +151,64 @@ class CampaignStore:
         for row in self.latest_rows().values():
             counts[row["status"]] = counts.get(row["status"], 0) + 1
         return counts
+
+    def cache_counts(self) -> Dict[str, int]:
+        """Instance-cache hits/misses over the latest rows (status reporting).
+
+        Rows without the flag (failed rows, stores written before the
+        cache existed) count toward neither bucket.
+        """
+        counts = {"cache_hits": 0, "cache_misses": 0}
+        for row in self.latest_rows().values():
+            if "instance_cache_hit" in row:
+                counts["cache_hits" if row["instance_cache_hit"] else "cache_misses"] += 1
+        return counts
+
+
+def merge_shards(destination, shard_dirs) -> CampaignStore:
+    """Fuse shard campaign directories into one store and return it.
+
+    Every shard directory must be bound to the *same* spec (content
+    digest); a foreign spec is refused, because its rows would poison the
+    merged aggregate.  Rows are appended in argument order (file order
+    within each shard), so overlapping stores resolve exactly like a
+    single store does: last write wins per task key.  The destination may
+    already hold rows for the same spec (merging into a partially
+    complete store is an ordinary resume) but must not be one of the
+    shard directories being merged.
+    """
+    shard_dirs = [Path(d) for d in shard_dirs]
+    if not shard_dirs:
+        raise CampaignError("merge_shards needs at least one shard directory")
+    destination = Path(destination)
+    for shard_dir in shard_dirs:
+        if shard_dir.resolve() == destination.resolve():
+            raise CampaignError(
+                f"merge destination {destination} is itself one of the shard "
+                f"directories; merge into a fresh directory"
+            )
+    stores = [CampaignStore(d) for d in shard_dirs]
+    spec = stores[0].load_spec()
+    for store in stores[1:]:
+        other = store.load_spec()
+        if other.digest() != spec.digest():
+            raise CampaignError(
+                f"shard store {store.directory} belongs to campaign {other.name!r} "
+                f"(spec digest {other.digest()[:12]}), not {spec.name!r} "
+                f"({spec.digest()[:12]}); refusing to merge foreign shards"
+            )
+    merged = CampaignStore(destination)
+    merged.initialize(spec)
+    # Batched append: shard rows are already parsed, validated JSON (any
+    # truncated shard tails were dropped by rows()), so one write handle
+    # suffices — only the destination's own pre-existing tail needs the
+    # truncation check.
+    needs_newline = merged._needs_tail_newline()
+    with open(merged.results_path, "a", encoding="utf-8") as handle:
+        if needs_newline:
+            handle.write("\n")
+        for store in stores:
+            for row in store.rows():
+                handle.write(json.dumps(row, sort_keys=True) + "\n")
+        handle.flush()
+    return merged

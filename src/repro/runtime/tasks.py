@@ -6,14 +6,23 @@ is a plain dict, so it pickles cheaply across the scheduler's worker pool.
 generated from the payload's derived seed, the oracle comes from the
 registry, and the reduction itself is deterministic — so the result row is
 byte-identical no matter which process runs it.  Only the wall-time fields
+(and the ``instance_cache_hit`` flag, which depends on execution order)
 vary between runs; the aggregation layer excludes them from its digest.
+
+Instance generation is memoized per process by :class:`InstanceCache`:
+the cache key is the exact generator call signature — family, size, the
+coordinates the family's generator actually consumes, and the derived
+instance seed — so grid points that differ only in oracle or λ (which
+share an instance seed, see :func:`instance_key`) build their hypergraph
+once per worker and reuse it for every oracle swept over it.
 """
 
 from __future__ import annotations
 
 import hashlib
 import time
-from typing import Any, Dict
+from collections import OrderedDict
+from typing import Any, Dict, Tuple
 
 from repro.exceptions import CampaignError, ReproError
 from repro.hypergraph import (
@@ -33,6 +42,104 @@ FAMILIES = ("uniform", "almost-uniform", "colorable", "interval")
 #: Prefix selecting the λ-capped variant of a registry oracle (the
 #: worst-case multi-phase regime of ``repro bench reduction``).
 CAPPED_PREFIX = "capped:"
+
+#: Families whose generator consumes the palette size ``k`` (as edge size
+#: or uniformity parameter) / the almost-uniformity slack ``epsilon``.
+#: Coordinates a generator ignores are excluded from the instance key, so
+#: e.g. interval tasks with different ``k`` share one instance.
+_K_FAMILIES = ("uniform", "almost-uniform", "colorable")
+_EPSILON_FAMILIES = ("almost-uniform", "colorable")
+
+
+def instance_key(
+    family: str, n: int, m: int, k: int, epsilon: float, replicate: int
+) -> str:
+    """Stable identifier of a task's *instance* (the seed-derivation key).
+
+    Unlike the task key, the instance key deliberately excludes the oracle
+    and λ (they never influence instance generation) and the per-family
+    coordinates the generator ignores.  Tasks that differ only in those
+    axes therefore derive the *same* instance seed — every oracle of a
+    campaign is evaluated on identical instances, and the per-worker
+    :class:`InstanceCache` can serve repeated grid points from memory.
+    """
+    parts = [f"family={family}", f"n={n}", f"m={m}"]
+    if family in _K_FAMILIES or family not in FAMILIES:
+        parts.append(f"k={k}")
+    if family in _EPSILON_FAMILIES or family not in FAMILIES:
+        parts.append(f"eps={epsilon:g}")
+    parts.append(f"rep={replicate}")
+    return " ".join(parts)
+
+
+def instance_cache_key(
+    family: str, n: int, m: int, k: int, epsilon: float, seed: int
+) -> Tuple:
+    """The memoization key of :class:`InstanceCache`: the generator call signature.
+
+    Coordinates the family's generator ignores are normalized to ``None``
+    so they cannot split cache entries that would build identical
+    hypergraphs (matching the exclusions of :func:`instance_key`).
+    """
+    return (
+        family,
+        n,
+        m,
+        k if family in _K_FAMILIES or family not in FAMILIES else None,
+        epsilon if family in _EPSILON_FAMILIES or family not in FAMILIES else None,
+        seed,
+    )
+
+
+class InstanceCache:
+    """Per-process memo of generated hypergraph instances, with hit/miss stats.
+
+    Reductions never mutate their input (``run`` copies the hypergraph
+    first), so one cached instance can safely serve every task that shares
+    its cache key.  The cache is bounded (FIFO eviction) and process-local:
+    pool workers each hold their own copy, and a persistent
+    :class:`~repro.runtime.scheduler.WorkerPool` keeps those worker caches
+    warm across ``run_campaign`` calls.
+    """
+
+    def __init__(self, maxsize: int = 64) -> None:
+        if maxsize < 1:
+            raise CampaignError(f"instance cache maxsize must be >= 1, got {maxsize}")
+        self.maxsize = maxsize
+        self.hits = 0
+        self.misses = 0
+        self._entries: "OrderedDict[Tuple, Hypergraph]" = OrderedDict()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def clear(self) -> None:
+        """Drop all entries and reset the hit/miss counters."""
+        self.hits = 0
+        self.misses = 0
+        self._entries.clear()
+
+    def get_or_build(
+        self, family: str, n: int, m: int, k: int, epsilon: float, seed: int
+    ) -> Tuple[Hypergraph, bool]:
+        """Return ``(instance, cache_hit)``, building and caching on a miss."""
+        key = instance_cache_key(family, n, m, k, epsilon, seed)
+        cached = self._entries.get(key)
+        if cached is not None:
+            self.hits += 1
+            return cached, True
+        self.misses += 1
+        hypergraph = build_instance(
+            family=family, n=n, m=m, k=k, epsilon=epsilon, seed=seed
+        )
+        self._entries[key] = hypergraph
+        if len(self._entries) > self.maxsize:
+            self._entries.popitem(last=False)
+        return hypergraph, False
+
+
+#: The process-level cache :func:`execute_task` builds instances through.
+INSTANCE_CACHE = InstanceCache()
 
 
 def validate_oracle_name(oracle: str) -> None:
@@ -93,11 +200,12 @@ def execute_task(payload: Dict[str, Any]) -> Dict[str, Any]:
     """Run one campaign task and return its result row (never raises).
 
     The row always carries ``task_key`` and ``status``; on success it adds
-    the instance digest, the serialized :class:`ReductionResult` and the
-    timing fields, on failure the error type and message.  Library errors
-    (infeasible grid coordinates, oracle violations, …) become
-    ``status="failed"`` rows so one bad grid point cannot take down a
-    campaign; everything else propagates, because it indicates a bug.
+    the instance digest, the serialized :class:`ReductionResult`, the
+    timing fields and the (order-dependent, digest-excluded)
+    ``instance_cache_hit`` flag, on failure the error type and message.
+    Library errors (infeasible grid coordinates, oracle violations, …)
+    become ``status="failed"`` rows so one bad grid point cannot take down
+    a campaign; everything else propagates, because it indicates a bug.
     """
     start = time.perf_counter()
     row: Dict[str, Any] = {
@@ -111,7 +219,7 @@ def execute_task(payload: Dict[str, Any]) -> Dict[str, Any]:
     try:
         from repro.core.reduction import ConflictFreeMulticoloringViaMaxIS
 
-        hypergraph = build_instance(
+        hypergraph, cache_hit = INSTANCE_CACHE.get_or_build(
             family=payload["family"],
             n=payload["n"],
             m=payload["m"],
@@ -134,6 +242,7 @@ def execute_task(payload: Dict[str, Any]) -> Dict[str, Any]:
                 "result": reduction_result_to_dict(result),
                 "wall_time_s": time.perf_counter() - start,
                 "happy_check_wall_time_s": reduction.last_happy_check_wall_time_s,
+                "instance_cache_hit": cache_hit,
             }
         )
     except ReproError as exc:

@@ -139,6 +139,30 @@ class TestRecordContent:
         (row,) = record.rows
         assert row["tasks_per_s"] == 3.0
         assert row["workers"] == 4
+        assert row["shard"] == "-"
+        assert row["pool_warm"] is False
+        assert row["cache_hits"] == row["cache_misses"] == 0
+
+    def test_throughput_record_carries_shard_and_warm_stats(self):
+        spec = small_spec()
+        stats = CampaignRunStats(
+            campaign=spec.name,
+            total_tasks=8,
+            skipped=0,
+            executed=4,
+            failed=0,
+            workers=2,
+            wall_time_s=1.0,
+            shard=(1, 2),
+            pool_warm=True,
+            cache_hits=3,
+            cache_misses=1,
+        )
+        (row,) = throughput_record(spec, [stats]).rows
+        assert row["shard"] == "1/2"
+        assert row["pool_warm"] is True
+        assert (row["cache_hits"], row["cache_misses"]) == (3, 1)
+        assert stats.cache_hit_ratio == 0.75
 
     def test_empty_campaign_produces_empty_rows(self):
         spec = small_spec()

@@ -1,4 +1,5 @@
-"""Scheduler tests: serial-vs-parallel byte identity, resume, failure isolation."""
+"""Scheduler tests: serial-vs-parallel byte identity, resume, failure isolation,
+persistent worker pools, sharded runs, and the no-pool-when-idle regression."""
 
 from __future__ import annotations
 
@@ -8,17 +9,30 @@ from repro.exceptions import CampaignError
 from repro.runtime import (
     CampaignSpec,
     CampaignStore,
+    WorkerPool,
     campaign_digest,
     campaign_records,
     execute_task,
     run_campaign,
+    task_shard_index,
 )
 
 from tests.runtime.test_spec import small_spec
+from tests.runtime.test_tasks import NONDETERMINISTIC_ROW_FIELDS
 
 
 def digest_of(spec: CampaignSpec, directory) -> str:
     return campaign_digest(campaign_records(spec, CampaignStore(directory).rows()))
+
+
+def _forbid_pool_spawn(monkeypatch):
+    """Make any multiprocessing.Pool construction fail the test."""
+    import multiprocessing
+
+    def boom(*args, **kwargs):
+        raise AssertionError("multiprocessing.Pool must not be constructed here")
+
+    monkeypatch.setattr(multiprocessing, "Pool", boom)
 
 
 class TestSerialExecutor:
@@ -71,13 +85,16 @@ class TestParallelByteIdentity:
         spec = small_spec()
         run_campaign(spec, tmp_path / "serial", workers=0)
         run_campaign(spec, tmp_path / "pool", workers=2, chunk_size=1)
-        timing = {"wall_time_s", "happy_check_wall_time_s"}
         serial = {
-            r["task_key"]: {k: v for k, v in r.items() if k not in timing}
+            r["task_key"]: {
+                k: v for k, v in r.items() if k not in NONDETERMINISTIC_ROW_FIELDS
+            }
             for r in CampaignStore(tmp_path / "serial").rows()
         }
         pool = {
-            r["task_key"]: {k: v for k, v in r.items() if k not in timing}
+            r["task_key"]: {
+                k: v for k, v in r.items() if k not in NONDETERMINISTIC_ROW_FIELDS
+            }
             for r in CampaignStore(tmp_path / "pool").rows()
         }
         assert serial == pool
@@ -122,10 +139,146 @@ class TestResume:
         assert resumed.skipped == len(payloads) // 2
         assert digest_of(spec, tmp_path / "par") == digest_of(spec, tmp_path / "ref")
 
+    def test_stale_instance_seed_rows_are_reexecuted(self, tmp_path):
+        # A store written under an older seed-derivation scheme must not
+        # satisfy the resume skip-set: its "done" rows describe different
+        # instances.  Re-execution supersedes them (last write wins).
+        spec = small_spec()
+        run_campaign(spec, tmp_path / "ref", workers=0)
+        store = CampaignStore(tmp_path / "stale")
+        store.initialize(spec)
+        for payload in spec.task_payloads():
+            row = execute_task(dict(payload, instance_seed=payload["instance_seed"] ^ 1))
+            store.append(dict(row, task_key=payload["task_key"]))
+        resumed = run_campaign(spec, tmp_path / "stale", workers=0)
+        assert resumed.skipped == 0
+        assert resumed.executed == spec.num_tasks()
+        assert digest_of(spec, tmp_path / "stale") == digest_of(spec, tmp_path / "ref")
+
     def test_directory_bound_to_other_campaign_rejected(self, tmp_path):
         run_campaign(small_spec(), tmp_path, workers=0)
         with pytest.raises(CampaignError, match="refusing"):
             run_campaign(small_spec(seed=99), tmp_path, workers=0)
+
+
+class TestNoIdlePoolSpawn:
+    def test_completed_store_spawns_no_worker_processes(self, tmp_path, monkeypatch):
+        # Regression: resuming a fully-completed campaign with workers > 1
+        # must return before any pool is constructed.
+        spec = small_spec()
+        run_campaign(spec, tmp_path, workers=0)
+        _forbid_pool_spawn(monkeypatch)
+        stats = run_campaign(spec, tmp_path, workers=4)
+        assert stats.executed == 0
+        assert stats.skipped == spec.num_tasks()
+
+    def test_completed_store_leaves_persistent_pool_unstarted(self, tmp_path, monkeypatch):
+        spec = small_spec()
+        run_campaign(spec, tmp_path, workers=0)
+        _forbid_pool_spawn(monkeypatch)
+        with WorkerPool(2) as pool:
+            stats = run_campaign(spec, tmp_path, pool=pool)
+            assert stats.executed == 0
+            assert not pool.started
+            assert not stats.pool_warm
+
+
+class TestWorkerPool:
+    def test_reuse_across_campaigns_reports_warm_start(self, tmp_path):
+        spec_a = small_spec()
+        spec_b = small_spec(seed=23)
+        with WorkerPool(2) as pool:
+            cold = run_campaign(spec_a, tmp_path / "a", pool=pool)
+            warm = run_campaign(spec_b, tmp_path / "b", pool=pool)
+            assert not cold.pool_warm
+            assert warm.pool_warm
+            assert cold.workers == warm.workers == 2
+            assert pool.runs_served == 2
+        run_campaign(spec_a, tmp_path / "ref", workers=0)
+        assert digest_of(spec_a, tmp_path / "a") == digest_of(spec_a, tmp_path / "ref")
+
+    def test_pool_overrides_workers_argument(self, tmp_path):
+        spec = small_spec()
+        with WorkerPool(2) as pool:
+            stats = run_campaign(spec, tmp_path, workers=0, pool=pool)
+        assert stats.workers == 2
+        assert pool.runs_served == 1
+
+    def test_closed_pool_rejected(self, tmp_path):
+        pool = WorkerPool(2)
+        pool.close()
+        with pytest.raises(CampaignError, match="closed"):
+            run_campaign(small_spec(), tmp_path, pool=pool)
+
+    def test_close_is_idempotent(self):
+        pool = WorkerPool(2)
+        pool.close()
+        pool.close()
+
+    @pytest.mark.parametrize("workers", [0, -1, 1.5, True])
+    def test_invalid_worker_count_rejected(self, workers):
+        with pytest.raises(CampaignError):
+            WorkerPool(workers)
+
+    def test_warm_pool_keeps_worker_instance_caches(self, tmp_path):
+        # Same campaign into two stores through one pool: the second run's
+        # instance builds are served from the worker's warm cache.  One
+        # worker, so every instance is guaranteed to be cached where the
+        # second run's tasks land.
+        spec = small_spec(families=("colorable",), sizes=((12, 8),))
+        with WorkerPool(1) as pool:
+            run_campaign(spec, tmp_path / "a", pool=pool)
+            warm = run_campaign(spec, tmp_path / "b", pool=pool)
+        assert warm.pool_warm
+        assert warm.cache_hits == spec.num_tasks()
+        assert warm.cache_misses == 0
+
+
+class TestShardedRuns:
+    def test_shards_partition_the_executed_tasks(self, tmp_path):
+        spec = small_spec()
+        keys = []
+        for index in range(3):
+            stats = run_campaign(spec, tmp_path / f"shard{index}", shard=(index, 3))
+            assert stats.shard == (index, 3)
+            shard_keys = CampaignStore(tmp_path / f"shard{index}").completed_keys()
+            assert stats.executed == len(shard_keys)
+            assert all(task_shard_index(k, 3) == index for k in shard_keys)
+            keys.extend(shard_keys)
+        assert sorted(keys) == sorted(p["task_key"] for p in spec.task_payloads())
+
+    def test_shard_resume_skips_only_its_own_completed_tasks(self, tmp_path):
+        spec = small_spec()
+        first = run_campaign(spec, tmp_path, shard=(0, 2))
+        again = run_campaign(spec, tmp_path, shard=(0, 2))
+        assert again.executed == 0
+        assert again.skipped == first.executed
+
+    def test_out_of_range_shard_rejected(self, tmp_path):
+        with pytest.raises(CampaignError, match="shard index"):
+            run_campaign(small_spec(), tmp_path, shard=(2, 2))
+
+    def test_malformed_shard_rejected(self, tmp_path):
+        with pytest.raises(CampaignError, match="pair"):
+            run_campaign(small_spec(), tmp_path, shard=(1, 2, 3))
+
+
+class TestCacheStats:
+    def test_serial_run_counts_oracle_sharing_hits(self, tmp_path):
+        from repro.runtime import INSTANCE_CACHE
+
+        INSTANCE_CACHE.clear()
+        # 2 oracles per grid point: half the instance builds are hits.
+        spec = small_spec(families=("colorable",))
+        stats = run_campaign(spec, tmp_path, workers=0)
+        assert stats.cache_hits + stats.cache_misses == spec.num_tasks()
+        assert stats.cache_hits == spec.num_tasks() // 2
+        assert stats.cache_hit_ratio == 0.5
+        counts = CampaignStore(tmp_path).cache_counts()
+        assert counts == {
+            "cache_hits": stats.cache_hits,
+            "cache_misses": stats.cache_misses,
+        }
 
 
 class TestFailureIsolation:

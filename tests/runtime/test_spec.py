@@ -5,7 +5,7 @@ from __future__ import annotations
 import pytest
 
 from repro.exceptions import CampaignError
-from repro.runtime import CampaignSpec, task_instance_seed
+from repro.runtime import CampaignSpec, task_instance_seed, task_shard_index
 
 
 def small_spec(**overrides) -> CampaignSpec:
@@ -59,16 +59,63 @@ class TestExpansion:
 
     def test_payloads_carry_derived_instance_seeds(self):
         spec = small_spec()
-        for payload in spec.task_payloads():
+        for task, payload in zip(spec.expand(), spec.task_payloads()):
             assert payload["instance_seed"] == task_instance_seed(
-                spec.seed, payload["task_key"]
+                spec.seed, task.instance_key(spec.epsilon)
             )
 
     def test_instance_seed_depends_on_campaign_seed_and_key(self):
-        key = small_spec().expand()[0].task_key
+        key = small_spec().expand()[0].instance_key(0.5)
         assert task_instance_seed(11, key) != task_instance_seed(12, key)
         assert task_instance_seed(11, key) != task_instance_seed(11, key + "x")
         assert task_instance_seed(11, key) == task_instance_seed(11, key)
+
+    def test_oracle_and_lam_do_not_shift_instance_seeds(self):
+        # Grid points differing only in oracle/λ must share instances:
+        # the instance key (hence the derived seed) excludes both axes.
+        spec = small_spec(oracles=("greedy-first-fit", "greedy-min-degree"), lams=(2.0, 3.0))
+        seeds_by_instance = {}
+        for task, payload in zip(spec.expand(), spec.task_payloads()):
+            seeds_by_instance.setdefault(task.instance_key(spec.epsilon), set()).add(
+                payload["instance_seed"]
+            )
+        assert len(seeds_by_instance) == spec.num_tasks() // (2 * 2)
+        assert all(len(seeds) == 1 for seeds in seeds_by_instance.values())
+
+    def test_replicates_get_distinct_instance_seeds(self):
+        spec = small_spec(oracles=("greedy-first-fit",), replicates=3)
+        seeds = {p["instance_seed"] for p in spec.task_payloads()}
+        assert len(seeds) == spec.num_tasks()
+
+
+class TestSharding:
+    def test_single_shard_is_the_full_expansion(self):
+        spec = small_spec()
+        assert spec.shard(0, 1) == spec.expand()
+
+    def test_shards_preserve_expansion_order(self):
+        spec = small_spec()
+        order = {task.task_key: i for i, task in enumerate(spec.expand())}
+        for index in range(3):
+            positions = [order[t.task_key] for t in spec.shard(index, 3)]
+            assert positions == sorted(positions)
+
+    def test_shard_assignment_matches_task_shard_index(self):
+        spec = small_spec()
+        for index in range(4):
+            for task in spec.shard(index, 4):
+                assert task_shard_index(task.task_key, 4) == index
+
+    @pytest.mark.parametrize(
+        "index, n_shards", [(-1, 2), (2, 2), (5, 2), (0, 0), (0, -3), (True, 2), (0, True)]
+    )
+    def test_invalid_shard_slots_rejected(self, index, n_shards):
+        with pytest.raises(CampaignError):
+            small_spec().shard(index, n_shards)
+
+    def test_task_shard_index_rejects_bad_counts(self):
+        with pytest.raises(CampaignError):
+            task_shard_index("some-key", 0)
 
 
 class TestValidation:

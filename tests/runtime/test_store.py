@@ -1,4 +1,4 @@
-"""Tests for the JSONL artifact store: identity, resume, kill tolerance."""
+"""Tests for the JSONL artifact store: identity, resume, kill tolerance, merge."""
 
 from __future__ import annotations
 
@@ -7,7 +7,7 @@ import json
 import pytest
 
 from repro.exceptions import CampaignError
-from repro.runtime import CampaignSpec, CampaignStore
+from repro.runtime import CampaignSpec, CampaignStore, merge_shards
 
 from tests.runtime.test_spec import small_spec
 
@@ -99,3 +99,130 @@ class TestRows:
         assert store.rows() == []
         assert store.completed_keys() == set()
         assert store.status_counts() == {}
+        assert store.cache_counts() == {"cache_hits": 0, "cache_misses": 0}
+
+    def test_truncated_tail_then_duplicate_key_rewrite(self, tmp_path):
+        # Kill truncates a half-written row for "b"; the retry appends a
+        # fresh "b" row, which must supersede nothing and glue to nothing.
+        store = CampaignStore(tmp_path)
+        store.append(row("a"))
+        store.append(row("b", status="failed", attempt=1))
+        text = store.results_path.read_text()
+        store.results_path.write_text(text + '{"task_key": "b", "stat')
+        store.append(row("b", attempt=2))
+        assert [r["task_key"] for r in store.rows()] == ["a", "b", "b"]
+        latest = store.latest_rows()
+        assert latest["b"]["status"] == "done"
+        assert latest["b"]["attempt"] == 2
+        assert store.completed_keys() == {"a", "b"}
+
+    def test_cache_counts_over_latest_rows(self, tmp_path):
+        store = CampaignStore(tmp_path)
+        store.append(row("a", instance_cache_hit=False))
+        store.append(row("b", instance_cache_hit=True))
+        store.append(row("c", status="failed"))  # no flag: counts nowhere
+        # A rewrite of "a" flips its flag; only the latest row counts.
+        store.append(row("a", instance_cache_hit=True))
+        assert store.cache_counts() == {"cache_hits": 2, "cache_misses": 0}
+
+
+class TestMergeShards:
+    def _shard_stores(self, tmp_path, spec):
+        stores = []
+        for index in range(2):
+            store = CampaignStore(tmp_path / f"shard{index}")
+            store.initialize(spec)
+            stores.append(store)
+        return stores
+
+    def test_merge_concatenates_disjoint_shards(self, tmp_path):
+        spec = small_spec()
+        first, second = self._shard_stores(tmp_path, spec)
+        first.append(row("a"))
+        second.append(row("b"))
+        merged = merge_shards(tmp_path / "merged", [first.directory, second.directory])
+        assert merged.load_spec().digest() == spec.digest()
+        assert merged.completed_keys() == {"a", "b"}
+
+    def test_merge_overlapping_shards_is_last_write_wins(self, tmp_path):
+        spec = small_spec()
+        first, second = self._shard_stores(tmp_path, spec)
+        first.append(row("x", status="failed", origin="shard0"))
+        first.append(row("y", origin="shard0"))
+        second.append(row("x", origin="shard1"))
+        merged = merge_shards(tmp_path / "merged", [first.directory, second.directory])
+        latest = merged.latest_rows()
+        assert latest["x"]["status"] == "done"
+        assert latest["x"]["origin"] == "shard1"
+        assert latest["y"]["origin"] == "shard0"
+        # Argument order decides: merging the other way keeps shard0's row.
+        reversed_merge = merge_shards(
+            tmp_path / "merged-rev", [second.directory, first.directory]
+        )
+        assert reversed_merge.latest_rows()["x"]["status"] == "failed"
+
+    def test_merge_refuses_foreign_spec_digest(self, tmp_path):
+        spec = small_spec()
+        foreign = small_spec(seed=99)
+        mine = CampaignStore(tmp_path / "mine")
+        mine.initialize(spec)
+        theirs = CampaignStore(tmp_path / "theirs")
+        theirs.initialize(foreign)
+        with pytest.raises(CampaignError, match="foreign"):
+            merge_shards(tmp_path / "merged", [mine.directory, theirs.directory])
+
+    def test_merge_refuses_destination_among_shards(self, tmp_path):
+        store = CampaignStore(tmp_path / "shard0")
+        store.initialize(small_spec())
+        with pytest.raises(CampaignError, match="fresh directory"):
+            merge_shards(tmp_path / "shard0", [store.directory])
+
+    def test_merge_requires_at_least_one_shard(self, tmp_path):
+        with pytest.raises(CampaignError, match="at least one"):
+            merge_shards(tmp_path / "merged", [])
+
+    def test_merge_refuses_foreign_destination(self, tmp_path):
+        shard = CampaignStore(tmp_path / "shard")
+        shard.initialize(small_spec())
+        dest = CampaignStore(tmp_path / "merged")
+        dest.initialize(small_spec(seed=99))
+        with pytest.raises(CampaignError, match="refusing"):
+            merge_shards(tmp_path / "merged", [shard.directory])
+
+    def test_merge_into_partial_destination_resumes(self, tmp_path):
+        spec = small_spec()
+        shard = CampaignStore(tmp_path / "shard")
+        shard.initialize(spec)
+        shard.append(row("b"))
+        dest = CampaignStore(tmp_path / "merged")
+        dest.initialize(spec)
+        dest.append(row("a"))
+        merged = merge_shards(tmp_path / "merged", [shard.directory])
+        assert merged.completed_keys() == {"a", "b"}
+
+    def test_merge_terminates_truncated_destination_tail(self, tmp_path):
+        spec = small_spec()
+        shard = CampaignStore(tmp_path / "shard")
+        shard.initialize(spec)
+        shard.append(row("b"))
+        dest = CampaignStore(tmp_path / "merged")
+        dest.initialize(spec)
+        dest.append(row("a"))
+        text = dest.results_path.read_text()
+        dest.results_path.write_text(text + '{"task_key": "half')
+        merged = merge_shards(tmp_path / "merged", [shard.directory])
+        # The shard row starts on a fresh line, not glued to the dead tail.
+        assert merged.completed_keys() == {"a", "b"}
+
+    def test_merge_skips_truncated_shard_tails(self, tmp_path):
+        spec = small_spec()
+        shard = CampaignStore(tmp_path / "shard")
+        shard.initialize(spec)
+        shard.append(row("a"))
+        text = shard.results_path.read_text()
+        shard.results_path.write_text(text + '{"task_key": "half')
+        merged = merge_shards(tmp_path / "merged", [shard.directory])
+        assert merged.completed_keys() == {"a"}
+        # The merged file itself is clean JSONL: every line parses.
+        for line in merged.results_path.read_text().splitlines():
+            json.loads(line)

@@ -76,11 +76,22 @@ class TestHarness:
         assert labels[0] == "serial"
         assert any(label.startswith("workers=") for label in labels[1:])
         digests = {r["digest"] for r in payload["records"]}
-        # Byte-identical aggregates: serial and pool runs share one digest.
+        # Byte-identical aggregates: serial, pool, sharded-merged and
+        # warm-pool runs all share one digest.
         assert len(digests) == 1
         serial = payload["records"][0]
         assert serial["workers"] == 1
         assert serial["speedup"] == 1.0
+        assert serial["shards"] == 1
+        assert serial["pool_warm"] is False
+        # The bench spec sweeps two oracles per grid point, so half the
+        # serial instance builds come from the in-process cache.
+        assert serial["cache_hits"] == serial["tasks"] // 2
+        by_label = {r["label"]: r for r in payload["records"]}
+        sharded = by_label[f"shards={bench.CAMPAIGN_BENCH_SHARDS}"]
+        assert sharded["shards"] == bench.CAMPAIGN_BENCH_SHARDS
+        warm = next(r for r in payload["records"] if r["label"].endswith("-warm"))
+        assert warm["pool_warm"] is True
         for record in payload["records"]:
             assert record["tasks"] == record["n"]
             assert record["m"] == record["tasks"]  # every task completed

@@ -147,3 +147,133 @@ class TestCampaignCLI:
     def test_missing_campaign_subcommand_rejected(self):
         with pytest.raises(SystemExit):
             main(["campaign"])
+
+    def test_status_reports_cache_counters(self, spec_path, tmp_path, capsys):
+        out = tmp_path / "campaign"
+        main(["campaign", "run", "--spec", str(spec_path), "--out", str(out)])
+        capsys.readouterr()
+        assert main(["campaign", "status", "--out", str(out)]) == 0
+        status_output = capsys.readouterr().out
+        assert "cache_hits" in status_output and "cache_misses" in status_output
+
+
+class TestCampaignShardCLI:
+    SPEC = dict(TestCampaignCLI.SPEC, name="cli-shard-campaign")
+
+    @pytest.fixture
+    def spec_path(self, tmp_path):
+        import json
+
+        path = tmp_path / "spec.json"
+        path.write_text(json.dumps(self.SPEC))
+        return path
+
+    def _digest(self, output: str) -> str:
+        return output.rsplit("aggregate digest: ", 1)[1].strip()
+
+    def test_sharded_runs_merge_to_the_serial_digest(self, spec_path, tmp_path, capsys):
+        assert main(
+            ["campaign", "run", "--spec", str(spec_path), "--out", str(tmp_path / "full")]
+        ) == 0
+        reference = self._digest(capsys.readouterr().out)
+
+        for index in range(2):
+            assert main(
+                [
+                    "campaign", "run",
+                    "--spec", str(spec_path),
+                    "--out", str(tmp_path / f"shard{index}"),
+                    "--shard", f"{index}/2",
+                ]
+            ) == 0
+            shard_output = capsys.readouterr().out
+            assert f"shard {index}/2" in shard_output
+
+        assert main(
+            [
+                "campaign", "merge",
+                "--out", str(tmp_path / "merged"),
+                str(tmp_path / "shard0"),
+                str(tmp_path / "shard1"),
+            ]
+        ) == 0
+        merge_output = capsys.readouterr().out
+        assert "merged 2 shard store(s)" in merge_output
+        assert "4/4 done" in merge_output
+        assert self._digest(merge_output) == reference
+
+    def test_partial_shard_status_report(self, spec_path, tmp_path, capsys):
+        out = tmp_path / "shard0"
+        assert main(
+            [
+                "campaign", "run",
+                "--spec", str(spec_path),
+                "--out", str(out),
+                "--shard", "0/2",
+            ]
+        ) == 0
+        run_output = capsys.readouterr().out
+        assert main(["campaign", "status", "--out", str(out)]) == 0
+        status_output = capsys.readouterr().out
+        # The shard store holds only its own tasks: the rest stay pending.
+        from repro.runtime import CampaignSpec, CampaignStore
+
+        spec = CampaignSpec.from_dict(self.SPEC)
+        done = len(CampaignStore(out).completed_keys())
+        assert 0 < done < spec.num_tasks()
+        assert f"shard 0/2 ({done} tasks)" in run_output
+        assert str(spec.num_tasks() - done) in status_output
+
+    def test_shard_index_out_of_range_exits_2(self, spec_path, tmp_path, capsys):
+        code = main(
+            [
+                "campaign", "run",
+                "--spec", str(spec_path),
+                "--out", str(tmp_path / "out"),
+                "--shard", "5/2",
+            ]
+        )
+        assert code == 2
+        assert "shard index" in capsys.readouterr().err
+
+    def test_malformed_shard_argument_exits_2(self, spec_path, tmp_path, capsys):
+        code = main(
+            [
+                "campaign", "run",
+                "--spec", str(spec_path),
+                "--out", str(tmp_path / "out"),
+                "--shard", "zero/two",
+            ]
+        )
+        assert code == 2
+        assert "--shard must look like I/N" in capsys.readouterr().err
+
+    def test_merge_mismatched_spec_digests_exits_2(self, spec_path, tmp_path, capsys):
+        import json
+
+        other_spec = tmp_path / "other.json"
+        other_spec.write_text(json.dumps(dict(self.SPEC, seed=99)))
+        main(["campaign", "run", "--spec", str(spec_path), "--out", str(tmp_path / "a")])
+        main(["campaign", "run", "--spec", str(other_spec), "--out", str(tmp_path / "b")])
+        capsys.readouterr()
+        code = main(
+            [
+                "campaign", "merge",
+                "--out", str(tmp_path / "merged"),
+                str(tmp_path / "a"),
+                str(tmp_path / "b"),
+            ]
+        )
+        assert code == 2
+        assert "refusing to merge" in capsys.readouterr().err
+
+    def test_merge_missing_shard_directory_exits_2(self, tmp_path, capsys):
+        code = main(
+            ["campaign", "merge", "--out", str(tmp_path / "merged"), str(tmp_path / "nope")]
+        )
+        assert code == 2
+        assert "campaign error" in capsys.readouterr().err
+
+    def test_merge_requires_shard_arguments(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main(["campaign", "merge", "--out", str(tmp_path / "merged")])
