@@ -1,14 +1,16 @@
 # Developer entry points. `make test` is the tier-1 gate; `make bench-smoke`
 # runs the perf harness on the smallest workload and validates the JSON
 # schema; `make campaign-smoke` checks the campaign runtime's serial-vs-pool
-# byte identity and resume on a tiny committed spec.
+# byte identity and resume on a tiny committed spec; `make chaos-smoke`
+# supervises that spec under injected kills + hangs and asserts the digest
+# still matches the serial reference.
 
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
 SMOKE_DIR := .bench-smoke
 
-.PHONY: test bench bench-smoke campaign-smoke campaign-demo coverage check install clean
+.PHONY: test bench bench-smoke campaign-smoke chaos-smoke campaign-demo coverage check install clean
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -33,12 +35,19 @@ bench-smoke:
 campaign-smoke:
 	$(PYTHON) scripts/campaign_smoke.py
 
+# The same 8-task campaign supervised by the ShardCoordinator under a
+# deterministic fault plan: one shard's worker is killed mid-run, another
+# shard hangs until the per-task watchdog fires; the recovered run must
+# reproduce the serial digest byte-for-byte.
+chaos-smoke:
+	$(PYTHON) scripts/chaos_smoke.py
+
 # The committed ≥200-task demo campaign (examples/campaign_demo.json).
 campaign-demo:
 	$(PYTHON) -m repro campaign run --spec examples/campaign_demo.json --out .campaign-demo --workers 4
 	$(PYTHON) -m repro campaign report --out .campaign-demo
 
-check: coverage bench-smoke campaign-smoke
+check: coverage bench-smoke campaign-smoke chaos-smoke
 
 # pip's PEP-517 editable path needs the `wheel` package; fall back to the
 # legacy develop install on environments that ship setuptools without it.
@@ -46,5 +55,5 @@ install:
 	pip install -e . --no-build-isolation || $(PYTHON) setup.py develop
 
 clean:
-	rm -rf $(SMOKE_DIR) .campaign-smoke .campaign-demo .pytest_cache
+	rm -rf $(SMOKE_DIR) .campaign-smoke .campaign-demo .chaos-smoke .pytest_cache
 	find . -name __pycache__ -type d -exec rm -rf {} +

@@ -1,0 +1,121 @@
+#!/usr/bin/env python
+"""Chaos smoke gate: one supervised campaign under injected kills + hangs.
+
+Runs the tiny committed 8-task spec (``examples/campaign_smoke.json``)
+through the :class:`ShardCoordinator` with a deterministic fault plan
+chosen so that, on the first dispatch (``max_salt=1`` keeps every
+re-dispatch clean):
+
+* shard 0 draws two *hangs* — the per-task watchdog must convert them
+  into ``timeout`` rows and the restarted shard must re-run them;
+* shard 1 draws a *kill* — the worker dies mid-shard and the coordinator
+  must detect the crash and re-dispatch.
+
+The run must land every shard (no poisoned quarantine), observe at least
+one restart and at least one timeout row, and produce an aggregate digest
+byte-identical to the fault-free serial reference.
+
+Usage: ``python scripts/chaos_smoke.py`` (from the repository root; run
+by ``make chaos-smoke`` and ``scripts/check.sh``).  Sets ``REPRO_CHAOS=1``
+itself — the gate exists to stop *accidental* fault injection, and this
+script is deliberate.  Scratch output goes to ``.chaos-smoke/`` (wiped on
+entry).
+"""
+
+from __future__ import annotations
+
+import os
+import shutil
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+os.environ["REPRO_CHAOS"] = "1"
+
+from repro.runtime import (  # noqa: E402
+    CampaignSpec,
+    CampaignStore,
+    FaultPlan,
+    LocalProcessExecutor,
+    ShardCoordinator,
+    campaign_digest,
+    campaign_records,
+    run_campaign,
+)
+
+SPEC_PATH = REPO_ROOT / "examples" / "campaign_smoke.json"
+SCRATCH = REPO_ROOT / ".chaos-smoke"
+
+#: Seed 15 of this plan shape puts two hangs in shard 0 (before any kill)
+#: and two kills in shard 1 on the first dispatch — both recovery paths
+#: fire on every run, deterministically.
+PLAN = FaultPlan(p_kill=0.25, p_hang=0.25, seed=15, max_salt=1, hang_s=60.0)
+
+
+def main() -> int:
+    spec = CampaignSpec.from_json(SPEC_PATH.read_text(encoding="utf-8"))
+    shutil.rmtree(SCRATCH, ignore_errors=True)
+
+    serial = run_campaign(spec, SCRATCH / "serial", workers=0)
+    if serial.failed:
+        print(f"chaos-smoke: FAIL — {serial.failed} serial reference tasks failed")
+        return 1
+    reference = campaign_digest(
+        campaign_records(spec, CampaignStore(SCRATCH / "serial").rows())
+    )
+
+    coordinator = ShardCoordinator(
+        spec,
+        SCRATCH / "supervised",
+        LocalProcessExecutor(),
+        n_shards=2,
+        heartbeat_timeout_s=15.0,
+        max_restarts=4,
+        base_backoff_s=0.01,
+        poll_interval_s=0.01,
+        task_timeout_s=0.5,
+        retry=None,  # chaos faults are transient; nothing may be written off
+        chaos=PLAN,
+        restart_failed_shards=True,
+        max_wall_clock_s=90.0,
+    )
+    report = coordinator.run()
+    timeouts = sum(
+        row["status"] == "timeout" for row in CampaignStore(SCRATCH / "supervised").rows()
+    )
+    for shard in report.shards:
+        print(
+            f"shard {shard.index}/2: {shard.status}  dispatches={shard.dispatches} "
+            f"restarts={shard.restarts} stale_kills={shard.stale_kills} "
+            f"exit_codes={shard.exit_codes}"
+        )
+    print(
+        f"supervised: {report.status_counts.get('done', 0)}/{spec.num_tasks()} done, "
+        f"{report.restarts} restart(s), {timeouts} watchdog timeout(s) "
+        f"in {report.wall_time_s:.2f}s  digest {report.digest[:12]}"
+    )
+
+    if report.poisoned:
+        print(f"chaos-smoke: FAIL — shards poisoned under chaos: {report.poisoned}")
+        return 1
+    if report.status_counts != {"done": spec.num_tasks()}:
+        print(f"chaos-smoke: FAIL — unfinished rows: {report.status_counts}")
+        return 1
+    if report.restarts < 1:
+        print("chaos-smoke: FAIL — the injected kill never forced a restart")
+        return 1
+    if timeouts < 1:
+        print("chaos-smoke: FAIL — the injected hang never tripped the watchdog")
+        return 1
+    if report.digest != reference:
+        print("chaos-smoke: FAIL — supervised digest differs from the serial reference")
+        return 1
+
+    print("chaos-smoke: OK (kill→restart, hang→watchdog timeout, digest ≡ serial)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -26,4 +26,7 @@ python scripts/validate_bench.py .bench-smoke
 echo "== campaign smoke =="
 python scripts/campaign_smoke.py
 
+echo "== chaos smoke =="
+python scripts/chaos_smoke.py
+
 echo "check: OK"

@@ -380,21 +380,26 @@ def bench_campaign(
     repeats: int = 3,
     worker_counts: Optional[Sequence[int]] = None,
 ) -> List[Dict[str, object]]:
-    """Time campaign execution: serial vs. pools vs. shards vs. warm pools.
+    """Time campaign execution: serial vs. pools vs. shards vs. supervision.
 
-    Four execution shapes over the same spec, each into fresh scratch
+    Five execution shapes over the same spec, each into fresh scratch
     directories (best wall time over ``repeats``): the serial reference,
     per-call worker pools, a sharded run (every shard executed serially,
     then fused with ``merge_shards`` — the multi-machine path on one
-    machine), and a persistent ``WorkerPool`` kept warm across the
-    repeats.  Every run's deterministic aggregate digest must equal the
-    serial one — the byte-identity contract of the scheduler — or the
-    benchmark aborts.  ``tasks_per_s`` is the throughput deliverable;
-    ``speedup`` is relative to the serial executor on the same machine
-    (bounded by the available cores); ``cache_hits`` counts instance
-    builds served from the per-process :class:`InstanceCache` (the
-    process-local cache is cleared before each run, so serial hits are
-    pure within-run oracle/λ sharing).
+    machine), a persistent ``WorkerPool`` kept warm across the repeats,
+    and the same sharded split driven by the fault-tolerant
+    :class:`ShardCoordinator` (inline executor, no injected faults — the
+    delta against the plain sharded row is the cost of heartbeat
+    bookkeeping and supervised merging).  Every run's deterministic
+    aggregate digest must equal the serial one — the byte-identity
+    contract of the scheduler — or the benchmark aborts.  ``tasks_per_s``
+    is the throughput deliverable; ``speedup`` is relative to the serial
+    executor on the same machine (bounded by the available cores);
+    ``cache_hits`` counts instance builds served from the per-process
+    :class:`InstanceCache` (the process-local cache is cleared before
+    each run, so serial hits are pure within-run oracle/λ sharing);
+    ``restarts``/``timeouts``/``retried`` count the fault-tolerance
+    machinery's interventions, all zero on a healthy machine.
     """
     import shutil
     import tempfile
@@ -402,6 +407,8 @@ def bench_campaign(
     from repro.runtime import (
         INSTANCE_CACHE,
         CampaignStore,
+        InlineExecutor,
+        ShardCoordinator,
         WorkerPool,
         campaign_digest,
         campaign_records,
@@ -420,9 +427,11 @@ def bench_campaign(
         peak = max((r["peak_triples"] for r in done), default=0)
         return digest, len(done), peak
 
+    # Runners return (stats_list, store, restarts): restarts is always 0
+    # for the unsupervised shapes — only the coordinator can re-dispatch.
     def run_serial_or_pool(scratch, workers: int):
         stats = run_campaign(spec, scratch, workers=workers)
-        return [stats], CampaignStore(scratch)
+        return [stats], CampaignStore(scratch), 0
 
     def run_sharded(scratch, _workers: int):
         shard_dirs = [
@@ -432,23 +441,39 @@ def bench_campaign(
             run_campaign(spec, shard_dir, shard=(i, CAMPAIGN_BENCH_SHARDS))
             for i, shard_dir in enumerate(shard_dirs)
         ]
-        return stats, merge_shards(Path(scratch) / "merged", shard_dirs)
+        return stats, merge_shards(Path(scratch) / "merged", shard_dirs), 0
 
     def make_warm_runner(pool: WorkerPool):
         def run_warm(scratch, _workers: int):
-            return [run_campaign(spec, scratch, pool=pool)], CampaignStore(scratch)
+            return [run_campaign(spec, scratch, pool=pool)], CampaignStore(scratch), 0
 
         return run_warm
+
+    def run_supervised(scratch, _workers: int):
+        # Inline executor: each shard runs in-process, so the measured
+        # delta vs. the plain sharded row is pure coordinator overhead
+        # (dispatch loop, heartbeat files, supervised merge) rather than
+        # subprocess start-up.  No chaos plan — the healthy-path cost.
+        out = Path(scratch) / "supervised"
+        report = ShardCoordinator(
+            spec,
+            out,
+            InlineExecutor(),
+            n_shards=CAMPAIGN_BENCH_SHARDS,
+            heartbeat_timeout_s=60.0,
+            poll_interval_s=0.001,
+        ).run()
+        return [], CampaignStore(out), report.restarts
 
     def run_once(runner, workers: int):
         scratch = tempfile.mkdtemp(prefix="bench-campaign-")
         try:
             INSTANCE_CACHE.clear()
             start = time.perf_counter()
-            stats_list, store = runner(scratch, workers)
+            stats_list, store, restarts = runner(scratch, workers)
             wall = time.perf_counter() - start
             digest, done, peak = summarize(store)
-            return stats_list, wall, digest, done, peak
+            return stats_list, wall, digest, done, peak, restarts
         finally:
             shutil.rmtree(scratch, ignore_errors=True)
 
@@ -471,6 +496,7 @@ def bench_campaign(
         + [
             (f"shards={CAMPAIGN_BENCH_SHARDS}", run_sharded, 0, CAMPAIGN_BENCH_SHARDS),
             (f"workers={warm_workers}-warm", make_warm_runner(warm_pool), warm_workers, 1),
+            ("supervised", run_supervised, 0, CAMPAIGN_BENCH_SHARDS),
         ]
     )
     records: List[Dict[str, object]] = []
@@ -481,11 +507,14 @@ def bench_campaign(
             best_s = float("inf")
             digest = ""
             done = peak = cache_hits = 0
+            restarts = timeouts = retried = 0
             pool_warm = False
             if label.endswith("-warm"):
                 run_once(runner, workers)  # prime the pool (unrecorded)
             for _ in range(max(1, repeats)):
-                stats_list, wall, digest, done, peak = run_once(runner, workers)
+                stats_list, wall, digest, done, peak, run_restarts = run_once(
+                    runner, workers
+                )
                 if reference_digest is None:
                     reference_digest = digest
                 if digest != reference_digest:
@@ -496,7 +525,12 @@ def bench_campaign(
                 if wall < best_s:
                     best_s = wall
                     cache_hits = sum(s.cache_hits for s in stats_list)
-                    pool_warm = all(s.pool_warm for s in stats_list)
+                    pool_warm = bool(stats_list) and all(
+                        s.pool_warm for s in stats_list
+                    )
+                    restarts = run_restarts
+                    timeouts = sum(s.timeouts for s in stats_list)
+                    retried = sum(s.retried for s in stats_list)
             if workers == 0 and shards == 1:
                 serial_s = best_s
             records.append(
@@ -512,6 +546,9 @@ def bench_campaign(
                     "shards": shards,
                     "pool_warm": pool_warm,
                     "cache_hits": cache_hits,
+                    "restarts": restarts,
+                    "timeouts": timeouts,
+                    "retried": retried,
                     "wall_time_s": best_s,
                     "tasks_per_s": spec.num_tasks() / best_s if best_s > 0 else None,
                     # None (not inf) when the timer underflows, as above.
@@ -555,6 +592,9 @@ _BENCHMARK_KEYS: Dict[str, Tuple[str, ...]] = {
         "shards",
         "cache_hits",
         "pool_warm",
+        "restarts",
+        "timeouts",
+        "retried",
     ),
     "reduction_pipeline": (
         "k",

@@ -12,6 +12,7 @@ Usage (after ``pip install -e .``)::
     python -m repro models --vertices 48 --probability 0.1
     python -m repro campaign run --spec examples/campaign_demo.json --out campaign-out --workers 4
     python -m repro campaign run --spec examples/campaign_demo.json --out shard-0 --shard 0/2
+    python -m repro campaign supervise --spec examples/campaign_demo.json --out campaign-out --shards 2
     python -m repro campaign merge --out campaign-out shard-0 shard-1
     python -m repro campaign status --out campaign-out
     python -m repro campaign report --out campaign-out
@@ -43,6 +44,101 @@ from repro.graphs import erdos_renyi_graph
 from repro.hypergraph import colorable_almost_uniform_hypergraph
 from repro.maxis import available_approximators, get_approximator
 from repro.reductions import summary_table
+
+
+def _add_fault_tolerance_args(parser: argparse.ArgumentParser) -> None:
+    """Watchdog / retry / durability flags shared by run and supervise."""
+    parser.add_argument(
+        "--task-timeout",
+        type=float,
+        default=None,
+        metavar="S",
+        help=(
+            "per-task watchdog deadline in seconds (a task exceeding it becomes "
+            "a status=timeout row); overrides the spec's task_timeout_s"
+        ),
+    )
+    parser.add_argument(
+        "--max-retries",
+        type=int,
+        default=3,
+        help=(
+            "attempts per task and error signature before it is skipped as "
+            "exhausted (0 disables the retry policy: every failure is "
+            "re-executed on every resume)"
+        ),
+    )
+    parser.add_argument(
+        "--retry-base-delay",
+        type=float,
+        default=0.0,
+        metavar="S",
+        help="pause before the first in-run retry round (doubled per round)",
+    )
+    parser.add_argument(
+        "--durability",
+        default=None,
+        choices=["flush", "fsync"],
+        help=(
+            "store write discipline: flush (default; a kill loses at most one "
+            "row) or fsync (a machine crash loses at most one row)"
+        ),
+    )
+
+
+def _add_chaos_args(parser: argparse.ArgumentParser) -> None:
+    """Fault-injection flags (refused unless REPRO_CHAOS=1)."""
+    parser.add_argument(
+        "--chaos",
+        default=None,
+        metavar="PK,PH,PF",
+        help=(
+            "inject faults per task with probabilities p_kill,p_hang,p_fail "
+            "(e.g. 0.1,0.05,0.2); requires REPRO_CHAOS=1 and the serial executor"
+        ),
+    )
+    parser.add_argument("--chaos-seed", type=int, default=0, help="fault decision seed")
+    parser.add_argument(
+        "--chaos-salt",
+        type=int,
+        default=0,
+        help="dispatch salt (bumped per re-dispatch by the coordinator)",
+    )
+    parser.add_argument(
+        "--chaos-max-salt",
+        type=int,
+        default=None,
+        help="inject faults only while salt < this (targeted recovery tests)",
+    )
+
+
+def _retry_policy(args: argparse.Namespace):
+    """The RetryPolicy encoded by --max-retries/--retry-base-delay (0 disables)."""
+    from repro.runtime import RetryPolicy
+
+    if args.max_retries == 0:
+        return None
+    return RetryPolicy(max_attempts=args.max_retries, base_delay_s=args.retry_base_delay)
+
+
+def _fault_plan(args: argparse.Namespace):
+    """The FaultPlan encoded by the --chaos* flags, or None."""
+    from repro.runtime import FaultPlan
+
+    if args.chaos is None:
+        return None
+    plan = FaultPlan.parse(args.chaos, seed=args.chaos_seed, salt=args.chaos_salt)
+    if args.chaos_max_salt is not None:
+        plan = FaultPlan(
+            p_kill=plan.p_kill,
+            p_hang=plan.p_hang,
+            p_fail=plan.p_fail,
+            seed=plan.seed,
+            salt=plan.salt,
+            hang_s=plan.hang_s,
+            max_salt=args.chaos_max_salt,
+        )
+    return plan
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -132,6 +228,77 @@ def _build_parser() -> argparse.ArgumentParser:
             "'campaign merge')"
         ),
     )
+    _add_fault_tolerance_args(campaign_run)
+    campaign_run.add_argument(
+        "--heartbeat",
+        default=None,
+        metavar="FILE",
+        help=(
+            "liveness file touched at run start and per stored row "
+            "(consumed by 'campaign supervise')"
+        ),
+    )
+    _add_chaos_args(campaign_run)
+
+    campaign_supervise = campaign_sub.add_parser(
+        "supervise",
+        help=(
+            "run every shard of a campaign under the fault-tolerant coordinator "
+            "(heartbeats, restarts with backoff, poisoned-shard quarantine)"
+        ),
+    )
+    campaign_supervise.add_argument(
+        "--spec", required=True, help="path to the CampaignSpec JSON file"
+    )
+    campaign_supervise.add_argument(
+        "--out", required=True, help="merged output campaign directory"
+    )
+    campaign_supervise.add_argument(
+        "--shards", type=int, default=2, help="number of sha256-stable shards"
+    )
+    campaign_supervise.add_argument(
+        "--heartbeat-timeout",
+        type=float,
+        default=30.0,
+        metavar="S",
+        help="kill and re-dispatch a shard whose heartbeat is older than this",
+    )
+    campaign_supervise.add_argument(
+        "--max-restarts",
+        type=int,
+        default=3,
+        help="crash re-dispatches per shard before it is quarantined as poisoned",
+    )
+    campaign_supervise.add_argument(
+        "--base-backoff",
+        type=float,
+        default=0.05,
+        metavar="S",
+        help="first re-dispatch delay (doubled each restart, plus seeded jitter)",
+    )
+    campaign_supervise.add_argument(
+        "--restart-failed-shards",
+        action="store_true",
+        help=(
+            "restart shards that exit 1 (completed with failed rows) instead of "
+            "landing them as-is"
+        ),
+    )
+    campaign_supervise.add_argument(
+        "--max-wall-clock",
+        type=float,
+        default=None,
+        metavar="S",
+        help="hard bound on the whole supervision run (kills workers, exits 2)",
+    )
+    campaign_supervise.add_argument(
+        "--expect-digest",
+        default=None,
+        metavar="SHA256",
+        help="require the merged aggregate digest to equal this serial reference",
+    )
+    _add_fault_tolerance_args(campaign_supervise)
+    _add_chaos_args(campaign_supervise)
 
     campaign_merge = campaign_sub.add_parser(
         "merge",
@@ -151,6 +318,15 @@ def _build_parser() -> argparse.ArgumentParser:
         "status", help="show done/failed/pending task counts of a campaign directory"
     )
     campaign_status.add_argument("--out", required=True, help="campaign directory")
+    campaign_status.add_argument(
+        "--max-retries",
+        type=int,
+        default=3,
+        help=(
+            "retry budget used to flag exhausted tasks (tasks that failed with "
+            "the same error this many times are skipped on resume)"
+        ),
+    )
 
     campaign_report = campaign_sub.add_parser(
         "report", help="print the aggregate records and their deterministic digest"
@@ -275,6 +451,11 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
                 workers=args.workers,
                 chunk_size=args.chunk_size,
                 shard=shard,
+                retry=_retry_policy(args),
+                task_timeout_s=args.task_timeout,
+                heartbeat=args.heartbeat,
+                chaos=_fault_plan(args),
+                durability=args.durability,
             )
             store = CampaignStore(args.out)
             records = campaign_records(spec, store.rows())
@@ -288,14 +469,73 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
             print(
                 f"\ncampaign {spec.name!r}: {scope}"
                 f"{counts.get('done', 0)}/{spec.num_tasks()} done, "
-                f"{counts.get('failed', 0)} failed "
-                f"({stats.executed} executed, {stats.skipped} resumed)"
+                f"{counts.get('failed', 0)} failed, "
+                f"{counts.get('timeout', 0)} timed out "
+                f"({stats.executed} executed, {stats.skipped} resumed, "
+                f"{stats.retried} retried, {stats.exhausted} exhausted)"
             )
             print(
                 f"instance cache: {stats.cache_hits} hits / {stats.cache_misses} misses"
             )
             print(f"aggregate digest: {campaign_digest(records)}")
-            return 0 if stats.failed == 0 else 1
+            # Exhausted tasks are still not done, so a run that only
+            # skipped them must not signal success.
+            return 0 if stats.failed == 0 and stats.exhausted == 0 else 1
+
+        if args.campaign_command == "supervise":
+            from repro.runtime import ShardCoordinator
+
+            spec_path = Path(args.spec)
+            if not spec_path.exists():
+                print(f"campaign spec not found: {spec_path}", file=sys.stderr)
+                return 2
+            spec = CampaignSpec.from_json(spec_path.read_text(encoding="utf-8"))
+            coordinator = ShardCoordinator(
+                spec,
+                args.out,
+                n_shards=args.shards,
+                heartbeat_timeout_s=args.heartbeat_timeout,
+                max_restarts=args.max_restarts,
+                base_backoff_s=args.base_backoff,
+                task_timeout_s=args.task_timeout,
+                retry=_retry_policy(args),
+                durability=args.durability,
+                chaos=_fault_plan(args),
+                restart_failed_shards=args.restart_failed_shards,
+                max_wall_clock_s=args.max_wall_clock,
+                expected_digest=args.expect_digest,
+            )
+            report = coordinator.run()
+            print(
+                format_records(
+                    [
+                        {
+                            "shard": f"{entry.index}/{report.n_shards}",
+                            "status": entry.status,
+                            "dispatches": entry.dispatches,
+                            "restarts": entry.restarts,
+                            "stale_kills": entry.stale_kills,
+                        }
+                        for entry in report.shards
+                    ]
+                )
+            )
+            counts = report.status_counts
+            print(
+                f"\nsupervised campaign {spec.name!r}: "
+                f"{counts.get('done', 0)}/{spec.num_tasks()} done, "
+                f"{counts.get('failed', 0)} failed, "
+                f"{counts.get('timeout', 0)} timed out; "
+                f"{report.restarts} restart(s) in {report.wall_time_s:.2f}s"
+            )
+            if report.poisoned:
+                print(
+                    f"poisoned shard(s) quarantined after {args.max_restarts} "
+                    f"restarts: {report.poisoned}",
+                    file=sys.stderr,
+                )
+            print(f"aggregate digest: {report.digest}")
+            return 0 if report.ok else 1
 
         if args.campaign_command == "merge":
             merged = merge_shards(args.out, args.shards)
@@ -317,6 +557,7 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
             cache = store.cache_counts()
             done = counts.get("done", 0)
             failed = counts.get("failed", 0)
+            timeouts = counts.get("timeout", 0)
             print(
                 format_records(
                     [
@@ -325,6 +566,7 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
                             "tasks": spec.num_tasks(),
                             "done": done,
                             "failed": failed,
+                            "timeout": timeouts,
                             "pending": spec.num_tasks() - done,
                             "cache_hits": cache["cache_hits"],
                             "cache_misses": cache["cache_misses"],
@@ -332,6 +574,19 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
                     ]
                 )
             )
+            exhausted = (
+                store.retry_exhausted_keys(args.max_retries) if args.max_retries else set()
+            )
+            if exhausted:
+                shown = ", ".join(sorted(exhausted)[:5])
+                more = len(exhausted) - min(len(exhausted), 5)
+                suffix = f" (+{more} more)" if more else ""
+                print(
+                    f"warning: {len(exhausted)} task(s) exhausted their retry budget "
+                    f"({args.max_retries} attempts with the same error) and will be "
+                    f"skipped on resume: {shown}{suffix}",
+                    file=sys.stderr,
+                )
             return 0
 
         # report

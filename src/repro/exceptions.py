@@ -50,3 +50,32 @@ class VerificationError(ReproError):
 
 class CampaignError(ReproError):
     """Raised by the experiment-campaign runtime for malformed specs or stores."""
+
+
+class TaskTimeout(ReproError):
+    """Raised inside a worker when a task exceeds its watchdog deadline.
+
+    Caught by :func:`repro.runtime.tasks.execute_task` and turned into a
+    terminal ``status="timeout"`` result row (a hung oracle must not stall
+    the whole campaign); it only propagates when no campaign harness is
+    around to record it.
+    """
+
+
+class FaultInjectionError(ReproError):
+    """Synthetic oracle failure raised by the chaos harness.
+
+    A :class:`ReproError` on purpose: the campaign runtime must treat an
+    injected failure exactly like a real library error (a ``failed`` row,
+    retried under the bounded retry policy), which is what the chaos fuzz
+    suite exercises.
+    """
+
+
+class SupervisionError(CampaignError):
+    """Raised by the shard coordinator for unrecoverable supervision states.
+
+    Examples: the supervision wall-clock budget is exhausted while shards
+    are still running, or a final digest check against a provided
+    reference fails after all shards landed.
+    """

@@ -13,6 +13,16 @@ deterministic digest.  Shard stores fuse back into one via
 :func:`merge_shards`; instance generation is memoized per worker by
 :class:`InstanceCache`.  The ``repro campaign`` CLI subcommand is the
 user-facing entry point.
+
+Fault tolerance lives in three layers (see :mod:`repro.runtime.supervise`):
+per-task watchdog timeouts (``task_timeout_s`` → ``status="timeout"``
+rows), a bounded :class:`RetryPolicy` per error signature, and the
+:class:`ShardCoordinator`, which supervises shard workers through a
+pluggable :class:`ShardExecutor`, restarts crashed or heartbeat-stale
+shards with backoff, and quarantines poisoned ones.  The deterministic
+:class:`~repro.runtime.faults.FaultPlan` chaos harness (gated behind
+``REPRO_CHAOS=1``) injects kills, hangs and failures to prove the whole
+stack converges to the serial digest.
 """
 
 from repro.runtime.aggregate import (
@@ -24,7 +34,15 @@ from repro.runtime.aggregate import (
     phase_decay_record,
     throughput_record,
 )
-from repro.runtime.scheduler import CampaignRunStats, WorkerPool, run_campaign
+from repro.runtime.faults import CHAOS_ENV_VAR, FaultPlan, chaos_enabled, inject_fault
+from repro.runtime.scheduler import (
+    DEFAULT_RETRY_POLICY,
+    CampaignRunStats,
+    RetryPolicy,
+    WorkerPool,
+    run_campaign,
+    touch_heartbeat,
+)
 from repro.runtime.spec import (
     CampaignSpec,
     TaskSpec,
@@ -32,7 +50,17 @@ from repro.runtime.spec import (
     task_instance_seed,
     task_shard_index,
 )
-from repro.runtime.store import CampaignStore, merge_shards
+from repro.runtime.store import RETRYABLE_STATUSES, CampaignStore, merge_shards
+from repro.runtime.supervise import (
+    InlineExecutor,
+    LocalProcessExecutor,
+    ShardCoordinator,
+    ShardExecutor,
+    ShardHandle,
+    ShardLaunch,
+    ShardReport,
+    SupervisionReport,
+)
 from repro.runtime.tasks import (
     FAMILIES,
     INSTANCE_CACHE,
@@ -43,6 +71,7 @@ from repro.runtime.tasks import (
     instance_key,
     resolve_oracle,
     validate_oracle_name,
+    watchdog,
 )
 
 __all__ = [
@@ -52,10 +81,27 @@ __all__ = [
     "task_shard_index",
     "check_shard",
     "CampaignStore",
+    "RETRYABLE_STATUSES",
     "merge_shards",
     "CampaignRunStats",
+    "RetryPolicy",
+    "DEFAULT_RETRY_POLICY",
     "WorkerPool",
     "run_campaign",
+    "touch_heartbeat",
+    "watchdog",
+    "CHAOS_ENV_VAR",
+    "FaultPlan",
+    "chaos_enabled",
+    "inject_fault",
+    "ShardCoordinator",
+    "ShardExecutor",
+    "ShardHandle",
+    "ShardLaunch",
+    "ShardReport",
+    "SupervisionReport",
+    "LocalProcessExecutor",
+    "InlineExecutor",
     "FAMILIES",
     "INSTANCE_CACHE",
     "InstanceCache",

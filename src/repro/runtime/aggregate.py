@@ -27,7 +27,10 @@ from repro.runtime.spec import CampaignSpec
 def _partition(rows: Iterable[Dict[str, Any]]) -> tuple:
     """Deduplicate by task key (last wins, like the store) and split by status.
 
-    Returns ``(done, failed)``, both sorted by task key.
+    Returns ``(done, failed)``, both sorted by task key; every
+    non-``"done"`` terminal status (``failed``, ``timeout``) lands in the
+    failed partition, so watchdog timeouts never leak into the
+    deterministic records.
     """
     latest: Dict[str, Dict[str, Any]] = {}
     for row in rows:
@@ -179,5 +182,8 @@ def throughput_record(
             pool_warm=entry.pool_warm,
             cache_hits=entry.cache_hits,
             cache_misses=entry.cache_misses,
+            timeouts=entry.timeouts,
+            retried=entry.retried,
+            exhausted=entry.exhausted,
         )
     return record

@@ -31,14 +31,78 @@ one, provably identical to a monolithic run.
 
 from __future__ import annotations
 
+import os
 import time
 from dataclasses import dataclass
-from typing import Callable, Iterable, Optional, Tuple
+from pathlib import Path
+from typing import Callable, Dict, Iterable, Optional, Tuple
 
 from repro.exceptions import CampaignError
+from repro.runtime.faults import FaultPlan, require_chaos
 from repro.runtime.spec import CampaignSpec, check_shard, task_shard_index
-from repro.runtime.store import CampaignStore
+from repro.runtime.store import RETRYABLE_STATUSES, CampaignStore
 from repro.runtime.tasks import execute_task
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Bounded retry budget for failed/timed-out rows.
+
+    ``max_attempts`` caps how many times one task may be executed while
+    failing with the *same* error signature — in-run retry rounds and
+    later resumes share the budget through the per-row ``attempt``
+    counter, so a deterministic failure is re-executed a bounded number
+    of times total, ever, instead of on every resume.  A failure with a
+    *different* error signature resets the counter (it is a new problem).
+    ``base_delay_s`` and ``backoff`` shape the pause before each in-run
+    retry round: round ``r`` sleeps ``base_delay_s * backoff**(r-1)``.
+    """
+
+    max_attempts: int = 3
+    base_delay_s: float = 0.0
+    backoff: float = 2.0
+
+    def __post_init__(self) -> None:
+        if (
+            not isinstance(self.max_attempts, int)
+            or isinstance(self.max_attempts, bool)
+            or self.max_attempts < 1
+        ):
+            raise CampaignError(
+                f"RetryPolicy.max_attempts must be a positive int, got {self.max_attempts!r}"
+            )
+        if not isinstance(self.base_delay_s, (int, float)) or self.base_delay_s < 0:
+            raise CampaignError(
+                f"RetryPolicy.base_delay_s must be >= 0, got {self.base_delay_s!r}"
+            )
+        if not isinstance(self.backoff, (int, float)) or self.backoff < 1:
+            raise CampaignError(
+                f"RetryPolicy.backoff must be >= 1, got {self.backoff!r}"
+            )
+
+    def round_delay_s(self, round_number: int) -> float:
+        """Exponential-backoff pause before in-run retry round ``round_number`` (1-based)."""
+        return self.base_delay_s * self.backoff ** (round_number - 1)
+
+
+#: The default policy of :func:`run_campaign`: three attempts per error
+#: signature, no pause (campaign tasks are CPU-bound; pauses only matter
+#: for the chaos/supervision paths, which pass their own policies).
+DEFAULT_RETRY_POLICY = RetryPolicy()
+
+
+def touch_heartbeat(path) -> None:
+    """Touch ``path`` (creating parents), bumping its mtime to *now*.
+
+    The shard coordinator reads the mtime to decide whether a worker is
+    still making progress; the worker calls this once at run start and
+    once per stored row.
+    """
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with open(path, "a", encoding="utf-8"):
+        pass
+    os.utime(path, None)
 
 
 @dataclass
@@ -61,6 +125,15 @@ class CampaignRunStats:
     #: (counted from the rows, so pool workers are included).
     cache_hits: int = 0
     cache_misses: int = 0
+    #: Tasks whose *final* row this run is a terminal ``timeout`` (the
+    #: watchdog fired on every attempt); a subset of ``failed``.
+    timeouts: int = 0
+    #: Extra executions performed by in-run retry rounds (beyond the
+    #: first attempt each pending task gets).
+    retried: int = 0
+    #: Pending tasks skipped because their retry budget was already
+    #: exhausted by earlier runs (same error ``max_attempts`` times).
+    exhausted: int = 0
 
     @property
     def tasks_per_s(self) -> float:
@@ -138,6 +211,11 @@ def _default_chunk_size(pending: int, workers: int) -> int:
     return max(1, pending // (workers * 4))
 
 
+def _error_signature(row: dict) -> Tuple:
+    """The identity of a failure: same signature ⇒ same error, for retry counting."""
+    return (row.get("error_type"), row.get("error"))
+
+
 def run_campaign(
     spec: CampaignSpec,
     directory,
@@ -146,6 +224,11 @@ def run_campaign(
     on_row: Optional[Callable[[dict], None]] = None,
     shard: Optional[Tuple[int, int]] = None,
     pool: Optional[WorkerPool] = None,
+    retry: Optional[RetryPolicy] = DEFAULT_RETRY_POLICY,
+    task_timeout_s: Optional[float] = None,
+    heartbeat=None,
+    chaos: Optional[FaultPlan] = None,
+    durability: Optional[str] = None,
 ) -> CampaignRunStats:
     """Execute every pending task of ``spec``, appending results to ``directory``.
 
@@ -169,6 +252,30 @@ def run_campaign(
         A persistent :class:`WorkerPool` to dispatch through instead of a
         per-call pool (``workers`` is then ignored for execution); keeps
         worker processes and their instance caches warm across calls.
+    retry:
+        The bounded :class:`RetryPolicy` for failed/timed-out rows
+        (default: 3 attempts per error signature).  Rows that fail are
+        re-executed in in-run retry rounds until they succeed or exhaust
+        the budget; on resume, rows that already exhausted it are
+        *skipped* (``stats.exhausted``) instead of re-executed forever.
+        ``None`` disables both behaviors (every failure is re-executed on
+        every resume — the pre-supervision semantics).
+    task_timeout_s:
+        Per-task watchdog deadline, overriding ``spec.task_timeout_s``;
+        a task exceeding it yields a ``status="timeout"`` row.
+    heartbeat:
+        Optional path touched at run start and after every stored row —
+        the liveness signal consumed by the shard coordinator.
+    chaos:
+        Optional :class:`~repro.runtime.faults.FaultPlan` injecting
+        worker kills, hangs and synthetic failures.  Guarded by the
+        ``REPRO_CHAOS`` environment flag and restricted to the serial
+        executor (an injected kill takes the whole process down, which
+        only the supervisor's restart path — not a ``multiprocessing``
+        pool — can recover from).
+    durability:
+        Store write discipline override (``"flush"``/``"fsync"``),
+        defaulting to ``spec.durability``.
 
     Tasks whose key already has a ``"done"`` row are skipped — resuming an
     interrupted campaign finishes the remainder and converges to the same
@@ -187,7 +294,19 @@ def run_campaign(
                 f"shard must be an (index, n_shards) pair, got {shard!r}"
             ) from exc
         check_shard(index, n_shards)
-    store = CampaignStore(directory)
+    if retry is not None and not isinstance(retry, RetryPolicy):
+        raise CampaignError(f"retry must be a RetryPolicy or None, got {retry!r}")
+    if chaos is not None:
+        require_chaos()
+        if pool is not None or workers > 1:
+            raise CampaignError(
+                "chaos injection requires the serial executor (an injected worker "
+                "kill strands a multiprocessing pool); use workers<=1 and no pool"
+            )
+    effective_timeout = task_timeout_s if task_timeout_s is not None else spec.task_timeout_s
+    store = CampaignStore(
+        directory, durability=durability if durability is not None else spec.durability
+    )
     store.initialize(spec)
     payloads = spec.task_payloads()
     total = len(payloads)
@@ -210,21 +329,71 @@ def run_campaign(
             and row.get("instance_seed") == payload["instance_seed"]
         )
 
-    pending = [p for p in payloads if not is_complete(p)]
+    def decorate(payload: dict, attempt: int) -> dict:
+        extra = {"attempt": attempt}
+        if effective_timeout is not None:
+            extra["task_timeout_s"] = effective_timeout
+        if chaos is not None:
+            extra["chaos"] = chaos.to_payload()
+        return dict(payload, **extra)
+
+    # Pending selection with the shared retry budget: a prior retryable
+    # row (same instance seed) continues its attempt count; one that
+    # already used the whole budget on a single error signature is
+    # skipped — re-running it would deterministically fail again.
+    pending = []
+    start_attempts: Dict[str, int] = {}
+    last_signature: Dict[str, Tuple] = {}
+    exhausted = 0
+    for payload in payloads:
+        if is_complete(payload):
+            continue
+        key = payload["task_key"]
+        attempt = 1
+        prior = latest.get(key)
+        if (
+            prior is not None
+            and prior["status"] in RETRYABLE_STATUSES
+            and prior.get("instance_seed") == payload["instance_seed"]
+        ):
+            prior_attempt = prior.get("attempt", 1)
+            if retry is not None and prior_attempt >= retry.max_attempts:
+                exhausted += 1
+                continue
+            attempt = prior_attempt + 1
+            last_signature[key] = _error_signature(prior)
+        pending.append(payload)
+        start_attempts[key] = attempt
 
     effective_workers = pool.workers if pool is not None else max(1, workers)
     pool_warm = pool is not None and pool.started
-    failed = cache_hits = cache_misses = 0
+    cache_hits = cache_misses = retried = 0
+    final_rows: Dict[str, dict] = {}
+    executions: Dict[str, int] = {}
+
+    if heartbeat is not None and pending:
+        touch_heartbeat(heartbeat)
 
     def record(row: dict) -> None:
-        nonlocal failed, cache_hits, cache_misses
+        nonlocal cache_hits, cache_misses
+        key = row["task_key"]
+        if row["status"] in RETRYABLE_STATUSES:
+            signature = _error_signature(row)
+            # A different error than last time is a new problem: restart
+            # its attempt budget instead of inheriting the old count.
+            if key in last_signature and last_signature[key] != signature:
+                row["attempt"] = 1
+            last_signature[key] = signature
         store.append(row)
-        failed += row["status"] != "done"
+        final_rows[key] = row
+        executions[key] = executions.get(key, 0) + 1
         if "instance_cache_hit" in row:
             if row["instance_cache_hit"]:
                 cache_hits += 1
             else:
                 cache_misses += 1
+        if heartbeat is not None:
+            touch_heartbeat(heartbeat)
         if on_row is not None:
             on_row(row)
 
@@ -232,11 +401,12 @@ def run_campaign(
     # Short-circuit before any pool is spawned (or a persistent pool is
     # started) when a resume finds nothing left to do.
     if pending:
+        first_pass = [decorate(p, start_attempts[p["task_key"]]) for p in pending]
         if pool is not None:
             chunk = chunk_size if chunk_size is not None else _default_chunk_size(
                 len(pending), pool.workers
             )
-            for row in pool.imap_unordered(execute_task, pending, chunksize=chunk):
+            for row in pool.imap_unordered(execute_task, first_pass, chunksize=chunk):
                 record(row)
         elif workers > 1:
             import multiprocessing
@@ -246,17 +416,47 @@ def run_campaign(
             )
             with multiprocessing.Pool(processes=workers) as mp_pool:
                 for row in mp_pool.imap_unordered(
-                    execute_task, pending, chunksize=chunk
+                    execute_task, first_pass, chunksize=chunk
                 ):
                     record(row)
         else:
-            for payload in pending:
+            for payload in first_pass:
                 record(execute_task(payload))
 
+        # In-run retry rounds (in the parent, serially: failures are the
+        # exception, not the workload).  Each round re-executes the rows
+        # still failing with budget left, after the policy's
+        # exponential-backoff pause.  ``executions`` bounds the total
+        # work per task this call even when error signatures alternate
+        # and keep resetting the persistent attempt counter.
+        by_key = {p["task_key"]: p for p in pending}
+        round_number = 0
+        while retry is not None:
+            round_number += 1
+            candidates = [
+                key
+                for key in by_key
+                if key in final_rows
+                and final_rows[key]["status"] in RETRYABLE_STATUSES
+                and final_rows[key].get("attempt", 1) < retry.max_attempts
+                and executions[key] < retry.max_attempts
+            ]
+            if not candidates:
+                break
+            delay = retry.round_delay_s(round_number)
+            if delay > 0:
+                time.sleep(delay)
+            for key in candidates:
+                attempt = final_rows[key].get("attempt", 1) + 1
+                record(execute_task(decorate(by_key[key], attempt)))
+                retried += 1
+
+    failed = sum(row["status"] != "done" for row in final_rows.values())
+    timeouts = sum(row["status"] == "timeout" for row in final_rows.values())
     return CampaignRunStats(
         campaign=spec.name,
         total_tasks=total,
-        skipped=len(payloads) - len(pending),
+        skipped=len(payloads) - len(pending) - exhausted,
         executed=len(pending),
         failed=failed,
         workers=effective_workers,
@@ -265,4 +465,7 @@ def run_campaign(
         pool_warm=pool_warm,
         cache_hits=cache_hits,
         cache_misses=cache_misses,
+        timeouts=timeouts,
+        retried=retried,
+        exhausted=exhausted,
     )

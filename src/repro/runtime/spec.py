@@ -29,13 +29,22 @@ from __future__ import annotations
 import hashlib
 import json
 from dataclasses import dataclass
-from typing import Any, Dict, List, Tuple
+from typing import Any, Dict, List, Optional, Tuple
 
 from repro.exceptions import CampaignError
 from repro.runtime.tasks import FAMILIES, instance_key, validate_oracle_name
 
 #: Spec fields required in the JSON exchange format.
 _REQUIRED_FIELDS = ("name", "seed", "families", "sizes", "ks", "oracles", "lams")
+
+#: Optional spec fields (serialized only when they differ from their
+#: defaults, so the content digests of pre-existing specs never change).
+_OPTIONAL_FIELDS = ("replicates", "epsilon", "task_timeout_s", "durability")
+
+#: Store durability levels: ``"flush"`` loses at most one row on a
+#: process kill; ``"fsync"`` also survives a machine crash (power loss)
+#: at the cost of one fsync per row.
+DURABILITY_LEVELS = ("flush", "fsync")
 
 
 def task_instance_seed(campaign_seed: int, key: str) -> int:
@@ -175,6 +184,15 @@ class CampaignSpec:
         hence distinct derived instance seeds).
     epsilon:
         Almost-uniformity slack forwarded to the generators that take one.
+    task_timeout_s:
+        Optional per-task watchdog deadline in seconds: a task exceeding
+        it becomes a terminal ``status="timeout"`` row instead of hanging
+        its worker (see :func:`repro.runtime.tasks.execute_task`).
+        ``None`` (the default) disables the watchdog.
+    durability:
+        Store write discipline — ``"flush"`` (default: a kill loses at
+        most one row) or ``"fsync"`` (a machine crash loses at most one
+        row, at one fsync per row).
     """
 
     name: str
@@ -186,6 +204,8 @@ class CampaignSpec:
     lams: Tuple[float, ...]
     replicates: int = 1
     epsilon: float = 0.5
+    task_timeout_s: Optional[float] = None
+    durability: str = "flush"
 
     def __post_init__(self) -> None:
         if not isinstance(self.name, str) or not self.name:
@@ -241,6 +261,20 @@ class CampaignSpec:
             raise CampaignError(f"replicates must be a positive int, got {self.replicates!r}")
         if not 0 < self.epsilon <= 1:
             raise CampaignError(f"epsilon must lie in (0, 1], got {self.epsilon!r}")
+        if self.task_timeout_s is not None:
+            if (
+                not isinstance(self.task_timeout_s, (int, float))
+                or isinstance(self.task_timeout_s, bool)
+                or self.task_timeout_s <= 0
+            ):
+                raise CampaignError(
+                    f"task_timeout_s must be a positive number or None, "
+                    f"got {self.task_timeout_s!r}"
+                )
+        if self.durability not in DURABILITY_LEVELS:
+            raise CampaignError(
+                f"durability must be one of {DURABILITY_LEVELS}, got {self.durability!r}"
+            )
 
     # ------------------------------------------------------------------
     # expansion
@@ -307,8 +341,14 @@ class CampaignSpec:
     # JSON round trip
     # ------------------------------------------------------------------
     def to_dict(self) -> Dict[str, Any]:
-        """Serialize to the JSON exchange format."""
-        return {
+        """Serialize to the JSON exchange format.
+
+        The fault-tolerance fields (``task_timeout_s``, ``durability``)
+        are emitted only when set to non-default values, so specs written
+        before they existed keep their content digest — and therefore
+        their store binding — unchanged.
+        """
+        data = {
             "name": self.name,
             "seed": self.seed,
             "families": list(self.families),
@@ -319,6 +359,11 @@ class CampaignSpec:
             "replicates": self.replicates,
             "epsilon": self.epsilon,
         }
+        if self.task_timeout_s is not None:
+            data["task_timeout_s"] = self.task_timeout_s
+        if self.durability != "flush":
+            data["durability"] = self.durability
+        return data
 
     def to_json(self) -> str:
         """Serialize to a JSON string (canonical: sorted keys)."""
@@ -336,7 +381,7 @@ class CampaignSpec:
         missing = [key for key in _REQUIRED_FIELDS if key not in data]
         if missing:
             raise CampaignError(f"campaign spec is missing the fields {missing!r}")
-        unknown = set(data) - set(_REQUIRED_FIELDS) - {"replicates", "epsilon"}
+        unknown = set(data) - set(_REQUIRED_FIELDS) - set(_OPTIONAL_FIELDS)
         if unknown:
             raise CampaignError(f"campaign spec has unknown fields {sorted(unknown)!r}")
         for axis in ("families", "sizes", "ks", "oracles", "lams"):
@@ -357,6 +402,8 @@ class CampaignSpec:
             lams=tuple(data["lams"]),
             replicates=data.get("replicates", 1),
             epsilon=data.get("epsilon", 0.5),
+            task_timeout_s=data.get("task_timeout_s"),
+            durability=data.get("durability", "flush"),
         )
 
     @classmethod

@@ -11,10 +11,15 @@ A campaign directory holds two files:
 The append-and-flush discipline is what makes campaigns resumable: if the
 process is killed mid-run, every fully written line survives, at most the
 final line is truncated, and :meth:`CampaignStore.rows` simply skips lines
-that do not parse.  A resumed run asks :meth:`completed_keys` which tasks
-already have a ``"done"`` row and executes only the remainder — failed
-rows are retried, and a re-completed key supersedes older rows (last
-write wins).
+that do not parse.  With ``durability="fsync"`` every append is also
+fsynced, so even a *machine* crash (power loss, kernel panic) loses at
+most one row — the default stays flush-only because an fsync per row is
+orders of magnitude slower on most filesystems.  A resumed run asks
+:meth:`completed_keys` which tasks already have a ``"done"`` row and
+executes only the remainder — failed and timed-out rows are retried up
+to the retry policy's attempt budget (:meth:`retry_exhausted_keys` names
+the rows that used it up), and a re-completed key supersedes older rows
+(last write wins).
 
 Sharded campaigns write one such directory per shard (all bound to the
 same spec, because every shard store carries the full spec and refuses
@@ -26,21 +31,36 @@ identical to a monolithic run's.
 from __future__ import annotations
 
 import json
+import os
 from pathlib import Path
 from typing import Any, Dict, List, Set
 
 from repro.exceptions import CampaignError
-from repro.runtime.spec import CampaignSpec
+from repro.runtime.spec import DURABILITY_LEVELS, CampaignSpec
 
 SPEC_FILENAME = "spec.json"
 RESULTS_FILENAME = "results.jsonl"
 
+#: Terminal row statuses a retry policy re-executes (everything but "done").
+RETRYABLE_STATUSES = ("failed", "timeout")
+
 
 class CampaignStore:
-    """Append-only result store rooted at one campaign directory."""
+    """Append-only result store rooted at one campaign directory.
 
-    def __init__(self, directory) -> None:
+    ``durability`` selects the write discipline of :meth:`append`:
+    ``"flush"`` (default) flushes each row so a process kill loses at
+    most one line; ``"fsync"`` additionally fsyncs so a machine crash
+    loses at most one line.
+    """
+
+    def __init__(self, directory, durability: str = "flush") -> None:
+        if durability not in DURABILITY_LEVELS:
+            raise CampaignError(
+                f"durability must be one of {DURABILITY_LEVELS}, got {durability!r}"
+            )
         self.directory = Path(directory)
+        self.durability = durability
 
     @property
     def spec_path(self) -> Path:
@@ -99,7 +119,12 @@ class CampaignStore:
             return handle.read(1) != b"\n"
 
     def append(self, row: Dict[str, Any]) -> None:
-        """Append one result row, flushed so a kill loses at most this line."""
+        """Append one result row, flushed so a kill loses at most this line.
+
+        Under ``durability="fsync"`` the row is also fsynced to disk, so
+        at most this line is lost even if the whole machine dies before
+        the page cache is written back.
+        """
         if "task_key" not in row or "status" not in row:
             raise CampaignError(f"result rows need 'task_key' and 'status', got {sorted(row)!r}")
         needs_newline = self._needs_tail_newline()
@@ -108,6 +133,8 @@ class CampaignStore:
                 handle.write("\n")
             handle.write(json.dumps(row, sort_keys=True) + "\n")
             handle.flush()
+            if self.durability == "fsync":
+                os.fsync(handle.fileno())
 
     def rows(self) -> List[Dict[str, Any]]:
         """Read every well-formed result row, in file order.
@@ -146,11 +173,30 @@ class CampaignStore:
         }
 
     def status_counts(self) -> Dict[str, int]:
-        """Count latest rows per status (``done`` / ``failed`` / …)."""
+        """Count latest rows per status (``done`` / ``failed`` / ``timeout`` / …)."""
         counts: Dict[str, int] = {}
         for row in self.latest_rows().values():
             counts[row["status"]] = counts.get(row["status"], 0) + 1
         return counts
+
+    def retry_exhausted_keys(self, max_attempts: int) -> Set[str]:
+        """Task keys whose latest row burned the whole retry budget.
+
+        A key qualifies when its latest row is a retryable failure
+        (``failed`` or ``timeout``) whose ``attempt`` counter — the
+        number of consecutive executions that died with the *same* error
+        signature — has reached ``max_attempts``.  The scheduler skips
+        these on resume (re-running them would deterministically fail the
+        same way again) and ``repro campaign status`` warns about them.
+        """
+        if max_attempts < 1:
+            raise CampaignError(f"max_attempts must be >= 1, got {max_attempts}")
+        return {
+            key
+            for key, row in self.latest_rows().items()
+            if row["status"] in RETRYABLE_STATUSES
+            and row.get("attempt", 1) >= max_attempts
+        }
 
     def cache_counts(self) -> Dict[str, int]:
         """Instance-cache hits/misses over the latest rows (status reporting).

@@ -19,12 +19,15 @@ once per worker and reuse it for every oracle swept over it.
 
 from __future__ import annotations
 
+import contextlib
 import hashlib
+import signal
+import threading
 import time
 from collections import OrderedDict
-from typing import Any, Dict, Tuple
+from typing import Any, Dict, Optional, Tuple
 
-from repro.exceptions import CampaignError, ReproError
+from repro.exceptions import CampaignError, ReproError, TaskTimeout
 from repro.hypergraph import (
     Hypergraph,
     almost_uniform_hypergraph,
@@ -196,18 +199,63 @@ def instance_digest(hypergraph: Hypergraph) -> str:
     return hashlib.sha256(hypergraph_to_json(hypergraph).encode("utf-8")).hexdigest()
 
 
+@contextlib.contextmanager
+def watchdog(timeout_s: Optional[float]):
+    """Arm a per-task watchdog that raises :class:`TaskTimeout` after ``timeout_s``.
+
+    Implemented with ``SIGALRM`` + ``setitimer``, so it interrupts pure
+    Python and C-level sleeps alike — which is what turns a wedged oracle
+    (or an injected chaos hang) into a recoverable ``timeout`` row
+    instead of a stalled worker.  Armed only when a deadline is given,
+    the platform has ``SIGALRM``, and we are on the process's main thread
+    (worker processes of a ``multiprocessing`` pool qualify; threads
+    cannot install signal handlers, so there the watchdog degrades to a
+    no-op and the supervisor's heartbeat deadline is the backstop).
+    """
+    if (
+        not timeout_s
+        or not hasattr(signal, "SIGALRM")
+        or threading.current_thread() is not threading.main_thread()
+    ):
+        yield
+        return
+
+    def _on_alarm(signum, frame):
+        raise TaskTimeout(f"task exceeded its {timeout_s:g}s watchdog deadline")
+
+    previous = signal.signal(signal.SIGALRM, _on_alarm)
+    signal.setitimer(signal.ITIMER_REAL, timeout_s)
+    try:
+        yield
+    finally:
+        signal.setitimer(signal.ITIMER_REAL, 0.0)
+        signal.signal(signal.SIGALRM, previous)
+
+
 def execute_task(payload: Dict[str, Any]) -> Dict[str, Any]:
     """Run one campaign task and return its result row (never raises).
 
-    The row always carries ``task_key`` and ``status``; on success it adds
-    the instance digest, the serialized :class:`ReductionResult`, the
-    timing fields and the (order-dependent, digest-excluded)
+    The row always carries ``task_key``, ``status`` and the (digest-
+    excluded, like timing) ``attempt`` counter; on success it adds the
+    instance digest, the serialized :class:`ReductionResult`, the timing
+    fields and the (order-dependent, digest-excluded)
     ``instance_cache_hit`` flag, on failure the error type and message.
     Library errors (infeasible grid coordinates, oracle violations, …)
     become ``status="failed"`` rows so one bad grid point cannot take down
-    a campaign; everything else propagates, because it indicates a bug.
+    a campaign; a task that outlives the payload's ``task_timeout_s``
+    watchdog becomes a terminal ``status="timeout"`` row; everything else
+    propagates, because it indicates a bug.
+
+    When the payload carries a ``chaos`` fault plan (see
+    :mod:`repro.runtime.faults`), the plan's decision for this
+    ``(task_key, attempt)`` fires first: a synthetic failure raises (and
+    is recorded) like a library error, a hang blocks until the watchdog
+    or the supervisor cuts it short, and a kill terminates the worker
+    process outright — no row is written at all, which is precisely the
+    failure the shard coordinator's heartbeats exist to detect.
     """
     start = time.perf_counter()
+    attempt = payload.get("attempt", 1)
     row: Dict[str, Any] = {
         "task_key": payload["task_key"],
         "family": payload["family"],
@@ -215,23 +263,29 @@ def execute_task(payload: Dict[str, Any]) -> Dict[str, Any]:
         "oracle": payload["oracle"],
         "lam": payload["lam"],
         "instance_seed": payload["instance_seed"],
+        "attempt": attempt,
     }
     try:
         from repro.core.reduction import ConflictFreeMulticoloringViaMaxIS
 
-        hypergraph, cache_hit = INSTANCE_CACHE.get_or_build(
-            family=payload["family"],
-            n=payload["n"],
-            m=payload["m"],
-            k=payload["k"],
-            epsilon=payload["epsilon"],
-            seed=payload["instance_seed"],
-        )
-        oracle = resolve_oracle(payload["oracle"], payload["lam"])
-        reduction = ConflictFreeMulticoloringViaMaxIS(
-            k=payload["k"], approximator=oracle, lam=payload["lam"]
-        )
-        result = reduction.run(hypergraph)
+        with watchdog(payload.get("task_timeout_s")):
+            if payload.get("chaos") is not None:
+                from repro.runtime.faults import inject_fault
+
+                inject_fault(payload["chaos"], payload["task_key"], attempt)
+            hypergraph, cache_hit = INSTANCE_CACHE.get_or_build(
+                family=payload["family"],
+                n=payload["n"],
+                m=payload["m"],
+                k=payload["k"],
+                epsilon=payload["epsilon"],
+                seed=payload["instance_seed"],
+            )
+            oracle = resolve_oracle(payload["oracle"], payload["lam"])
+            reduction = ConflictFreeMulticoloringViaMaxIS(
+                k=payload["k"], approximator=oracle, lam=payload["lam"]
+            )
+            result = reduction.run(hypergraph)
         row.update(
             {
                 "status": "done",
@@ -243,6 +297,16 @@ def execute_task(payload: Dict[str, Any]) -> Dict[str, Any]:
                 "wall_time_s": time.perf_counter() - start,
                 "happy_check_wall_time_s": reduction.last_happy_check_wall_time_s,
                 "instance_cache_hit": cache_hit,
+            }
+        )
+    except TaskTimeout as exc:
+        row.update(
+            {
+                "status": "timeout",
+                "error_type": type(exc).__name__,
+                "error": str(exc),
+                "task_timeout_s": payload.get("task_timeout_s"),
+                "wall_time_s": time.perf_counter() - start,
             }
         )
     except ReproError as exc:

@@ -296,9 +296,23 @@ class TestFailureIsolation:
         failed = [r for r in CampaignStore(tmp_path).rows() if r["status"] == "failed"]
         assert all(r["error_type"] == "HypergraphError" for r in failed)
 
-    def test_failed_tasks_are_retried_on_resume(self, tmp_path):
+    def test_failed_tasks_are_retried_until_exhausted(self, tmp_path):
         spec = small_spec(families=("uniform",), sizes=((4, 3),), ks=(9,), replicates=1)
         first = run_campaign(spec, tmp_path, workers=0)
         assert first.failed == spec.num_tasks()
+        # The in-run retry rounds spend the whole budget on the same
+        # deterministic error (3 attempts each under the default policy)...
+        assert first.retried == spec.num_tasks() * 2
+        latest = CampaignStore(tmp_path).latest_rows()
+        assert all(row["attempt"] == 3 for row in latest.values())
+        # ...so a resume skips the exhausted tasks instead of re-failing
+        # them forever (the silent infinite-retry bug).
         again = run_campaign(spec, tmp_path, workers=0)
-        assert again.executed == spec.num_tasks()  # failures are not "done"
+        assert again.executed == 0
+        assert again.exhausted == spec.num_tasks()
+        assert again.skipped == 0
+        # retry=None restores the legacy semantics: every failure is
+        # re-executed on every resume, with no exhaustion skip.
+        legacy = run_campaign(spec, tmp_path, workers=0, retry=None)
+        assert legacy.executed == spec.num_tasks()
+        assert legacy.exhausted == 0

@@ -226,3 +226,81 @@ class TestMergeShards:
         # The merged file itself is clean JSONL: every line parses.
         for line in merged.results_path.read_text().splitlines():
             json.loads(line)
+
+
+class TestDurability:
+    def test_default_is_flush_only(self, tmp_path):
+        assert CampaignStore(tmp_path).durability == "flush"
+
+    def test_unknown_durability_rejected(self, tmp_path):
+        with pytest.raises(CampaignError, match="durability"):
+            CampaignStore(tmp_path, durability="paranoid")
+
+    @pytest.mark.parametrize("durability", ["flush", "fsync"])
+    def test_appends_round_trip_under_both_disciplines(self, tmp_path, durability):
+        store = CampaignStore(tmp_path, durability=durability)
+        store.initialize(small_spec())
+        store.append(row("a"))
+        store.append(row("b", status="failed", error="boom"))
+        assert [r["task_key"] for r in store.rows()] == ["a", "b"]
+        assert store.status_counts() == {"done": 1, "failed": 1}
+
+    def test_fsync_actually_syncs_each_append(self, tmp_path, monkeypatch):
+        import os as os_module
+
+        synced = []
+        real_fsync = os_module.fsync
+        monkeypatch.setattr(
+            "repro.runtime.store.os.fsync",
+            lambda fd: (synced.append(fd), real_fsync(fd))[1],
+        )
+        flush_store = CampaignStore(tmp_path / "flush")
+        flush_store.initialize(small_spec())
+        flush_store.append(row("a"))
+        assert synced == []  # the default never pays the fsync
+        fsync_store = CampaignStore(tmp_path / "fsync", durability="fsync")
+        fsync_store.initialize(small_spec())
+        fsync_store.append(row("a"))
+        fsync_store.append(row("b"))
+        assert len(synced) == 2
+
+    def test_spec_durability_flows_through_run_campaign(self, tmp_path, monkeypatch):
+        from repro.runtime import run_campaign
+
+        synced = []
+        monkeypatch.setattr("repro.runtime.store.os.fsync", synced.append)
+        spec = small_spec(durability="fsync")
+        stats = run_campaign(spec, tmp_path, workers=0)
+        assert stats.failed == 0
+        assert len(synced) == spec.num_tasks()
+        # An explicit override beats the spec's default.
+        more = run_campaign(spec, tmp_path / "flush", workers=0, durability="flush")
+        assert more.failed == 0
+        assert len(synced) == spec.num_tasks()
+
+
+class TestRetryExhaustion:
+    def test_exhausted_keys_need_retryable_status_and_budget(self, tmp_path):
+        store = CampaignStore(tmp_path)
+        store.append(row("done-task"))
+        store.append(row("fresh-failure", status="failed", attempt=1))
+        store.append(row("spent-failure", status="failed", attempt=3))
+        store.append(row("spent-timeout", status="timeout", attempt=4))
+        store.append(row("legacy-failure", status="failed"))  # no attempt field
+        assert store.retry_exhausted_keys(3) == {"spent-failure", "spent-timeout"}
+        assert store.retry_exhausted_keys(1) == {
+            "fresh-failure",
+            "spent-failure",
+            "spent-timeout",
+            "legacy-failure",
+        }
+
+    def test_exhaustion_considers_only_the_latest_row(self, tmp_path):
+        store = CampaignStore(tmp_path)
+        store.append(row("a", status="failed", attempt=3))
+        store.append(row("a"))  # later success supersedes the exhaustion
+        assert store.retry_exhausted_keys(3) == set()
+
+    def test_max_attempts_must_be_positive(self, tmp_path):
+        with pytest.raises(CampaignError, match="max_attempts"):
+            CampaignStore(tmp_path).retry_exhausted_keys(0)

@@ -92,10 +92,17 @@ class TestHarness:
         assert sharded["shards"] == bench.CAMPAIGN_BENCH_SHARDS
         warm = next(r for r in payload["records"] if r["label"].endswith("-warm"))
         assert warm["pool_warm"] is True
+        supervised = by_label["supervised"]
+        assert supervised["shards"] == bench.CAMPAIGN_BENCH_SHARDS
+        assert supervised["pool_warm"] is False
         for record in payload["records"]:
             assert record["tasks"] == record["n"]
             assert record["m"] == record["tasks"]  # every task completed
             assert record["tasks_per_s"] > 0
+            # Fault-free bench: the fault-tolerance machinery never fires.
+            assert record["restarts"] == 0
+            assert record["timeouts"] == 0
+            assert record["retried"] == 0
 
     def test_run_rejects_unknown_family(self, tmp_path):
         with pytest.raises(ValueError):
