@@ -3,14 +3,16 @@
 # schema; `make campaign-smoke` checks the campaign runtime's serial-vs-pool
 # byte identity and resume on a tiny committed spec; `make chaos-smoke`
 # supervises that spec under injected kills + hangs and asserts the digest
-# still matches the serial reference.
+# still matches the serial reference; `make store-smoke` proves the JSONL,
+# SQLite and compacted stores (full-row and incremental-aggregate paths)
+# all land on one digest.
 
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
 SMOKE_DIR := .bench-smoke
 
-.PHONY: test bench bench-smoke campaign-smoke chaos-smoke campaign-demo coverage check install clean
+.PHONY: test bench bench-smoke campaign-smoke chaos-smoke store-smoke campaign-demo coverage check install clean
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -42,12 +44,18 @@ campaign-smoke:
 chaos-smoke:
 	$(PYTHON) scripts/chaos_smoke.py
 
+# The same 8-task campaign through both store backends: JSONL ≡ SQLite ≡
+# compacted, and the incremental-aggregate report path must reproduce the
+# full-row digest on every one of them.
+store-smoke:
+	$(PYTHON) scripts/store_smoke.py
+
 # The committed ≥200-task demo campaign (examples/campaign_demo.json).
 campaign-demo:
 	$(PYTHON) -m repro campaign run --spec examples/campaign_demo.json --out .campaign-demo --workers 4
 	$(PYTHON) -m repro campaign report --out .campaign-demo
 
-check: coverage bench-smoke campaign-smoke chaos-smoke
+check: coverage bench-smoke campaign-smoke chaos-smoke store-smoke
 
 # pip's PEP-517 editable path needs the `wheel` package; fall back to the
 # legacy develop install on environments that ship setuptools without it.
@@ -55,5 +63,5 @@ install:
 	pip install -e . --no-build-isolation || $(PYTHON) setup.py develop
 
 clean:
-	rm -rf $(SMOKE_DIR) .campaign-smoke .campaign-demo .chaos-smoke .pytest_cache
+	rm -rf $(SMOKE_DIR) .campaign-smoke .campaign-demo .chaos-smoke .store-smoke .pytest_cache
 	find . -name __pycache__ -type d -exec rm -rf {} +

@@ -29,4 +29,7 @@ python scripts/campaign_smoke.py
 echo "== chaos smoke =="
 python scripts/chaos_smoke.py
 
+echo "== store smoke =="
+python scripts/store_smoke.py
+
 echo "check: OK"

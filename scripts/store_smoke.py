@@ -1,0 +1,95 @@
+#!/usr/bin/env python
+"""Store-backend smoke gate: JSONL ≡ SQLite ≡ compacted, plus incremental reports.
+
+Runs the tiny committed 8-task spec (``examples/campaign_smoke.json``)
+through both store backends and asserts every aggregation path lands on
+one byte-identical digest:
+
+1. the serial JSONL reference, digested from the full row log;
+2. the same store digested through the incremental-aggregate path
+   (``store.summaries()`` + ``records_from_summaries``);
+3. a serial run on the SQLite backend, via both paths;
+4. both stores compacted after a superseded duplicate row is planted —
+   compaction must drop the row and leave the digest untouched.
+
+Usage: ``python scripts/store_smoke.py`` (from the repository root; run
+by ``make store-smoke`` and ``scripts/check.sh``).  Scratch output goes
+to ``.store-smoke/`` (wiped on entry).
+"""
+
+from __future__ import annotations
+
+import shutil
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.runtime import (  # noqa: E402
+    CampaignSpec,
+    campaign_digest,
+    campaign_records,
+    open_store,
+    records_from_summaries,
+    run_campaign,
+)
+
+SPEC_PATH = REPO_ROOT / "examples" / "campaign_smoke.json"
+SCRATCH = REPO_ROOT / ".store-smoke"
+
+
+def digests_of(spec: CampaignSpec, directory: Path) -> tuple:
+    """(full-row digest, incremental-aggregate digest) for one store."""
+    store = open_store(directory)
+    full = campaign_digest(campaign_records(spec, store.rows()))
+    incremental = campaign_digest(records_from_summaries(spec, store.summaries()))
+    return full, incremental
+
+
+def main() -> int:
+    spec = CampaignSpec.from_json(SPEC_PATH.read_text(encoding="utf-8"))
+    shutil.rmtree(SCRATCH, ignore_errors=True)
+
+    runs = {}
+    for backend in ("jsonl", "sqlite"):
+        stats = run_campaign(spec, SCRATCH / backend, workers=0, backend=backend)
+        if stats.failed:
+            print(f"store-smoke: FAIL — {stats.failed} {backend} tasks failed")
+            return 1
+        full, incremental = digests_of(spec, SCRATCH / backend)
+        print(
+            f"{backend + ':':<8} {stats.executed} tasks in {stats.wall_time_s:.3f}s  "
+            f"full {full[:12]}  incremental {incremental[:12]}"
+        )
+        if incremental != full:
+            print(f"store-smoke: FAIL — {backend} incremental digest diverged")
+            return 1
+        runs[backend] = full
+    if runs["sqlite"] != runs["jsonl"]:
+        print("store-smoke: FAIL — sqlite digest differs from the JSONL reference")
+        return 1
+    reference = runs["jsonl"]
+
+    for backend in ("jsonl", "sqlite"):
+        store = open_store(SCRATCH / backend)
+        store.append(store.rows()[0])  # superseded duplicate, as a retry leaves
+        stats = store.compact()
+        full, incremental = digests_of(spec, SCRATCH / backend)
+        print(
+            f"compact {backend}: {stats.rows_before} -> {stats.rows_after} rows, "
+            f"{stats.bytes_before} -> {stats.bytes_after} bytes  full {full[:12]}"
+        )
+        if stats.rows_dropped < 1:
+            print(f"store-smoke: FAIL — {backend} compaction dropped nothing")
+            return 1
+        if full != reference or incremental != reference:
+            print(f"store-smoke: FAIL — compacted {backend} digest diverged")
+            return 1
+
+    print("store-smoke: OK (jsonl ≡ sqlite ≡ compacted, full ≡ incremental)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -7,9 +7,11 @@ Usage: python scripts/validate_bench.py BENCH_conflict_graph.json [...]
 Arguments may be files or directories; a directory validates every
 ``BENCH_*.json`` inside it (all four families, including
 ``BENCH_campaign.json``, whose records must carry the scale keys
-``shards``, ``cache_hits`` and ``pool_warm`` plus the fault-tolerance
-counters ``restarts``, ``timeouts`` and ``retried`` next to the
-original throughput keys) and fails when it contains none.  Exits non-zero
+``shards``, ``cache_hits`` and ``pool_warm``, the fault-tolerance
+counters ``restarts``, ``timeouts`` and ``retried``, and the store
+keys ``store_backend`` and ``report_wall_time_s`` — the incremental
+report latency — next to the original throughput keys) and fails when
+it contains none.  Exits non-zero
 (with a message per file) on the first schema violation, so it can gate
 CI / `make bench-smoke`.
 """

@@ -19,9 +19,10 @@ trajectories:
 * ``BENCH_campaign.json`` — throughput (tasks/s) of the campaign runtime
   (:mod:`repro.runtime`): the serial reference executor vs. per-call
   worker pools vs. a sharded run fused by ``merge_shards`` vs. a
-  persistent warm ``WorkerPool``, all on one fixed campaign, with the
-  deterministic aggregate digest asserted equal across every
-  configuration.
+  persistent warm ``WorkerPool`` vs. the indexed SQLite store backend,
+  all on one fixed campaign, with the deterministic aggregate digest
+  asserted equal across every configuration (and, per run, the
+  incremental-report digest asserted equal to the full-row reference).
 
 JSON schema (``schema_version`` 1): the top level carries
 ``schema_version``, ``benchmark``, ``generated_by`` and ``records``; every
@@ -32,8 +33,11 @@ Conflict-graph records add ``k``, ``num_edges``, ``legacy_wall_time_s``
 and ``speedup``; MIS records add ``algorithm`` and ``is_size``; campaign
 records add ``workers``, ``tasks``, ``tasks_per_s``, ``speedup`` (vs.
 the serial executor), ``shards`` (1 unless the run was shard-split),
-``pool_warm`` (persistent pool reused across runs) and ``cache_hits``
-(instance builds served by the per-process cache; plus the informational
+``pool_warm`` (persistent pool reused across runs), ``cache_hits``
+(instance builds served by the per-process cache),
+``report_wall_time_s`` (a warm incremental report on the
+already-aggregated store — the O(new rows) query-path deliverable) and
+``store_backend`` (``jsonl``/``sqlite``; plus the informational
 ``digest``); reduction
 records add ``k``, ``num_phases``, ``total_colors``,
 ``rebuild_wall_time_s``, ``happy_check_wall_time_s`` (seconds the
@@ -382,15 +386,20 @@ def bench_campaign(
 ) -> List[Dict[str, object]]:
     """Time campaign execution: serial vs. pools vs. shards vs. supervision.
 
-    Five execution shapes over the same spec, each into fresh scratch
+    Six execution shapes over the same spec, each into fresh scratch
     directories (best wall time over ``repeats``): the serial reference,
     per-call worker pools, a sharded run (every shard executed serially,
     then fused with ``merge_shards`` — the multi-machine path on one
     machine), a persistent ``WorkerPool`` kept warm across the repeats,
-    and the same sharded split driven by the fault-tolerant
+    the same sharded split driven by the fault-tolerant
     :class:`ShardCoordinator` (inline executor, no injected faults — the
     delta against the plain sharded row is the cost of heartbeat
-    bookkeeping and supervised merging).  Every run's deterministic
+    bookkeeping and supervised merging), and a serial run on the indexed
+    SQLite backend (same digest — backend independence is part of the
+    contract).  Every record also times a warm incremental report
+    (``report_wall_time_s``): the steady-state O(new rows) cost of
+    ``repro campaign report`` on an already-aggregated store, asserted
+    digest-identical to the full-row reference.  Every run's deterministic
     aggregate digest must equal the serial one — the byte-identity
     contract of the scheduler — or the benchmark aborts.  ``tasks_per_s``
     is the throughput deliverable; ``speedup`` is relative to the serial
@@ -406,13 +415,14 @@ def bench_campaign(
 
     from repro.runtime import (
         INSTANCE_CACHE,
-        CampaignStore,
         InlineExecutor,
         ShardCoordinator,
         WorkerPool,
         campaign_digest,
         campaign_records,
         merge_shards,
+        open_store,
+        records_from_summaries,
         run_campaign,
     )
 
@@ -420,18 +430,35 @@ def bench_campaign(
     if worker_counts is None:
         worker_counts = CAMPAIGN_WORKER_COUNTS[:1] if smoke else CAMPAIGN_WORKER_COUNTS
 
-    def summarize(store: CampaignStore):
+    def summarize(store):
         rows = store.rows()
-        digest = campaign_digest(campaign_records(spec, rows))
+        digest = campaign_digest(campaign_records(spec, rows))  # full-row reference
         done = [r for r in rows if r["status"] == "done"]
         peak = max((r["peak_triples"] for r in done), default=0)
-        return digest, len(done), peak
+        # Incremental report: the first summaries() call builds the
+        # persisted per-task aggregates; the *timed* second call is the
+        # steady-state O(new rows) = O(0) path every later
+        # `repro campaign report` takes on an already-aggregated store.
+        store.summaries()
+        start = time.perf_counter()
+        incremental = campaign_digest(records_from_summaries(spec, store.summaries()))
+        report_s = time.perf_counter() - start
+        if incremental != digest:
+            raise AssertionError(
+                f"incremental report digest diverged from the full-row "
+                f"reference: {incremental[:12]} != {digest[:12]}"
+            )
+        return digest, len(done), peak, report_s
 
     # Runners return (stats_list, store, restarts): restarts is always 0
     # for the unsupervised shapes — only the coordinator can re-dispatch.
     def run_serial_or_pool(scratch, workers: int):
         stats = run_campaign(spec, scratch, workers=workers)
-        return [stats], CampaignStore(scratch), 0
+        return [stats], open_store(scratch), 0
+
+    def run_sqlite(scratch, _workers: int):
+        stats = run_campaign(spec, scratch, workers=0, backend="sqlite")
+        return [stats], open_store(scratch), 0
 
     def run_sharded(scratch, _workers: int):
         shard_dirs = [
@@ -445,7 +472,7 @@ def bench_campaign(
 
     def make_warm_runner(pool: WorkerPool):
         def run_warm(scratch, _workers: int):
-            return [run_campaign(spec, scratch, pool=pool)], CampaignStore(scratch), 0
+            return [run_campaign(spec, scratch, pool=pool)], open_store(scratch), 0
 
         return run_warm
 
@@ -463,7 +490,7 @@ def bench_campaign(
             heartbeat_timeout_s=60.0,
             poll_interval_s=0.001,
         ).run()
-        return [], CampaignStore(out), report.restarts
+        return [], open_store(out), report.restarts
 
     def run_once(runner, workers: int):
         scratch = tempfile.mkdtemp(prefix="bench-campaign-")
@@ -472,8 +499,8 @@ def bench_campaign(
             start = time.perf_counter()
             stats_list, store, restarts = runner(scratch, workers)
             wall = time.perf_counter() - start
-            digest, done, peak = summarize(store)
-            return stats_list, wall, digest, done, peak, restarts
+            digest, done, peak, report_s = summarize(store)
+            return stats_list, wall, digest, done, peak, restarts, report_s
         finally:
             shutil.rmtree(scratch, ignore_errors=True)
 
@@ -497,6 +524,9 @@ def bench_campaign(
             (f"shards={CAMPAIGN_BENCH_SHARDS}", run_sharded, 0, CAMPAIGN_BENCH_SHARDS),
             (f"workers={warm_workers}-warm", make_warm_runner(warm_pool), warm_workers, 1),
             ("supervised", run_supervised, 0, CAMPAIGN_BENCH_SHARDS),
+            # The indexed backend, serial: digest must match the JSONL
+            # reference (backend-independence is part of the contract).
+            ("sqlite", run_sqlite, 0, 1),
         ]
     )
     records: List[Dict[str, object]] = []
@@ -508,13 +538,20 @@ def bench_campaign(
             digest = ""
             done = peak = cache_hits = 0
             restarts = timeouts = retried = 0
+            report_s = 0.0
             pool_warm = False
             if label.endswith("-warm"):
                 run_once(runner, workers)  # prime the pool (unrecorded)
             for _ in range(max(1, repeats)):
-                stats_list, wall, digest, done, peak, run_restarts = run_once(
-                    runner, workers
-                )
+                (
+                    stats_list,
+                    wall,
+                    digest,
+                    done,
+                    peak,
+                    run_restarts,
+                    run_report_s,
+                ) = run_once(runner, workers)
                 if reference_digest is None:
                     reference_digest = digest
                 if digest != reference_digest:
@@ -531,6 +568,7 @@ def bench_campaign(
                     restarts = run_restarts
                     timeouts = sum(s.timeouts for s in stats_list)
                     retried = sum(s.retried for s in stats_list)
+                    report_s = run_report_s
             if workers == 0 and shards == 1:
                 serial_s = best_s
             records.append(
@@ -553,6 +591,11 @@ def bench_campaign(
                     "tasks_per_s": spec.num_tasks() / best_s if best_s > 0 else None,
                     # None (not inf) when the timer underflows, as above.
                     "speedup": serial_s / best_s if best_s > 0 else None,
+                    # Warm incremental report on the already-aggregated
+                    # store: O(new rows) = O(0) here, vs. wall_time_s
+                    # which includes the O(all rows) execution + scan.
+                    "report_wall_time_s": report_s,
+                    "store_backend": "sqlite" if label == "sqlite" else "jsonl",
                     "digest": digest[:12],
                 }
             )
@@ -595,6 +638,8 @@ _BENCHMARK_KEYS: Dict[str, Tuple[str, ...]] = {
         "restarts",
         "timeouts",
         "retried",
+        "report_wall_time_s",
+        "store_backend",
     ),
     "reduction_pipeline": (
         "k",

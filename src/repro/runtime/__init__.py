@@ -4,7 +4,11 @@ The subsystem turns single Theorem 1.1 reductions into *fleets*: a
 declarative :class:`CampaignSpec` expands a grid of (family × size × k ×
 oracle × λ × replicate) into deterministic tasks, a
 :class:`CampaignStore` persists one JSONL row per task (resumable after a
-kill), :func:`run_campaign` executes the pending tasks serially, on a
+kill; ``store: sqlite`` in the spec selects the indexed
+:class:`SQLiteCampaignStore` behind the same surface, and both keep
+incremental per-task aggregates so reports cost O(new rows) —
+:func:`open_store` picks the right backend for a directory),
+:func:`run_campaign` executes the pending tasks serially, on a
 per-call ``multiprocessing`` pool, or on a persistent :class:`WorkerPool`
 — optionally restricted to one sha256-stable shard of the grid — with
 byte-identical results, and the aggregation layer rolls everything up
@@ -32,6 +36,7 @@ from repro.runtime.aggregate import (
     done_rows,
     failed_rows,
     phase_decay_record,
+    summaries_of,
     throughput_record,
 )
 from repro.runtime.faults import CHAOS_ENV_VAR, FaultPlan, chaos_enabled, inject_fault
@@ -50,7 +55,22 @@ from repro.runtime.spec import (
     task_instance_seed,
     task_shard_index,
 )
-from repro.runtime.store import RETRYABLE_STATUSES, CampaignStore, merge_shards
+from repro.runtime.store import (
+    RETRYABLE_STATUSES,
+    STORE_CLASSES,
+    BaseCampaignStore,
+    CampaignStore,
+    CompactionStats,
+    SQLiteCampaignStore,
+    cache_counts_of,
+    completed_of,
+    detect_backend,
+    merge_shards,
+    open_store,
+    retry_exhausted_of,
+    status_counts_of,
+)
+from repro.runtime.summary import records_from_summaries, summarize_row
 from repro.runtime.supervise import (
     InlineExecutor,
     LocalProcessExecutor,
@@ -81,8 +101,21 @@ __all__ = [
     "task_shard_index",
     "check_shard",
     "CampaignStore",
+    "BaseCampaignStore",
+    "SQLiteCampaignStore",
+    "CompactionStats",
+    "STORE_CLASSES",
     "RETRYABLE_STATUSES",
     "merge_shards",
+    "open_store",
+    "detect_backend",
+    "completed_of",
+    "status_counts_of",
+    "cache_counts_of",
+    "retry_exhausted_of",
+    "summarize_row",
+    "records_from_summaries",
+    "summaries_of",
     "CampaignRunStats",
     "RetryPolicy",
     "DEFAULT_RETRY_POLICY",

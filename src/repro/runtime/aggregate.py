@@ -11,6 +11,14 @@ same completed task set always produces the same bytes.
 JSON of the deterministic records — the quantity the parallel executor is
 differentially checked against the serial one on.  Timing lives only in
 ``C3``, which is deliberately excluded from the digest.
+
+Both record builders reduce rows to per-task sufficient statistics
+(:func:`repro.runtime.summary.summarize_row`) and delegate to
+:func:`repro.runtime.summary.records_from_summaries` — the same builder
+the stores' incremental-aggregation path feeds from their persisted
+summary sidecars.  One builder, two feeding paths: the full-row path
+here stays the retained differential reference (it always re-reads every
+row), and the incremental path is digest-identical by construction.
 """
 
 from __future__ import annotations
@@ -22,6 +30,7 @@ from typing import Any, Dict, Iterable, List, Sequence
 from repro.analysis.records import ExperimentRecord
 from repro.runtime.scheduler import CampaignRunStats
 from repro.runtime.spec import CampaignSpec
+from repro.runtime.summary import records_from_summaries, summarize_row, total_colors_of
 
 
 def _partition(rows: Iterable[Dict[str, Any]]) -> tuple:
@@ -52,23 +61,21 @@ def failed_rows(rows: Iterable[Dict[str, Any]]) -> List[Dict[str, Any]]:
     return _partition(rows)[1]
 
 
-def _total_colors(result: Dict[str, Any]) -> int:
-    """Distinct colors of a serialized reduction result (without reconstructing it)."""
-    colors = set()
-    for _vertex, vertex_colors in result["multicoloring"]:
-        colors.update((phase, c) for phase, c in vertex_colors)
-    return len(colors)
+#: Retained alias — the canonical implementation lives in
+#: :func:`repro.runtime.summary.total_colors_of`.
+_total_colors = total_colors_of
 
 
-def _metadata(spec: CampaignSpec, done: Sequence[Dict], failed: Sequence[Dict]) -> Dict[str, Any]:
-    return {
-        "campaign": spec.name,
-        "seed": spec.seed,
-        "spec_digest": spec.digest(),
-        "tasks_total": spec.num_tasks(),
-        "tasks_done": len(done),
-        "tasks_failed": len(failed),
-    }
+def summaries_of(rows: Iterable[Dict[str, Any]]) -> Dict[str, Dict[str, Any]]:
+    """Reduce rows to their latest-per-key sufficient statistics.
+
+    Last write wins per task key, matching the store, then each surviving
+    row is summarized via :func:`repro.runtime.summary.summarize_row`.
+    """
+    latest: Dict[str, Dict[str, Any]] = {}
+    for row in rows:
+        latest[row["task_key"]] = row
+    return {key: summarize_row(row) for key, row in latest.items()}
 
 
 def phase_decay_record(spec: CampaignSpec, rows: Iterable[Dict[str, Any]]) -> ExperimentRecord:
@@ -78,75 +85,24 @@ def phase_decay_record(spec: CampaignSpec, rows: Iterable[Dict[str, Any]]) -> Ex
     curve is a proper mean over the oracle's whole task population; tasks
     whose instance had no edges (zero executed phases) are excluded.
     """
-    done, failed = _partition(rows)
-    record = ExperimentRecord(
-        experiment="C1",
-        description="per-oracle phase decay: mean fraction of edges surviving each phase",
-        metadata=_metadata(spec, done, failed),
-    )
-    by_oracle: Dict[str, List[Dict[str, Any]]] = {}
-    for row in done:
-        if row["result"]["phases"]:
-            by_oracle.setdefault(row["oracle"], []).append(row)
-    for oracle in sorted(by_oracle):
-        tasks = by_oracle[oracle]
-        max_phases = max(len(row["result"]["phases"]) for row in tasks)
-        for phase in range(1, max_phases + 1):
-            remaining_sum = 0.0
-            active = 0
-            for row in tasks:
-                phases = row["result"]["phases"]
-                initial = phases[0]["edges_before"]
-                if len(phases) >= phase:
-                    active += 1
-                    remaining_sum += phases[phase - 1]["edges_after"] / initial
-            record.add_row(
-                oracle=oracle,
-                phase=phase,
-                tasks=len(tasks),
-                active_tasks=active,
-                mean_remaining_fraction=remaining_sum / len(tasks),
-            )
-    return record
+    return records_from_summaries(spec, summaries_of(rows))[0]
 
 
 def color_budget_record(spec: CampaignSpec, rows: Iterable[Dict[str, Any]]) -> ExperimentRecord:
     """Per-(oracle, k) color budgets: phases and colors used vs. the k·ρ bound."""
-    done, failed = _partition(rows)
-    record = ExperimentRecord(
-        experiment="C2",
-        description="per-(oracle, k) phases and color budgets of the reduction",
-        metadata=_metadata(spec, done, failed),
-    )
-    groups: Dict[tuple, List[Dict[str, Any]]] = {}
-    for row in done:
-        groups.setdefault((row["oracle"], row["k"]), []).append(row)
-    for oracle, k in sorted(groups):
-        tasks = groups[(oracle, k)]
-        num_phases = [len(row["result"]["phases"]) for row in tasks]
-        total_colors = [_total_colors(row["result"]) for row in tasks]
-        color_bounds = [row["result"]["color_bound"] for row in tasks]
-        within = sum(
-            1 for colors, bound in zip(total_colors, color_bounds) if colors <= bound
-        )
-        record.add_row(
-            oracle=oracle,
-            k=k,
-            tasks=len(tasks),
-            mean_phases=sum(num_phases) / len(tasks),
-            max_phases=max(num_phases),
-            mean_total_colors=sum(total_colors) / len(tasks),
-            max_total_colors=max(total_colors),
-            mean_color_bound=sum(color_bounds) / len(tasks),
-            within_color_bound_fraction=within / len(tasks),
-        )
-    return record
+    return records_from_summaries(spec, summaries_of(rows))[1]
 
 
 def campaign_records(spec: CampaignSpec, rows: Iterable[Dict[str, Any]]) -> List[ExperimentRecord]:
-    """The deterministic aggregate: phase decay (C1) and color budgets (C2)."""
-    rows = list(rows)
-    return [phase_decay_record(spec, rows), color_budget_record(spec, rows)]
+    """The deterministic aggregate: phase decay (C1) and color budgets (C2).
+
+    This is the full-row reference path: it re-reads every row it is
+    given.  Stores offer the same records in O(new rows) via their
+    persisted summaries (``store.summaries()`` +
+    :func:`repro.runtime.summary.records_from_summaries`); the fuzz
+    harness asserts both paths digest-identical.
+    """
+    return records_from_summaries(spec, summaries_of(rows))
 
 
 def campaign_digest(records: Sequence[ExperimentRecord]) -> str:

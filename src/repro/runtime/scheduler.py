@@ -40,7 +40,7 @@ from typing import Callable, Dict, Iterable, Optional, Tuple
 from repro.exceptions import CampaignError
 from repro.runtime.faults import FaultPlan, require_chaos
 from repro.runtime.spec import CampaignSpec, check_shard, task_shard_index
-from repro.runtime.store import RETRYABLE_STATUSES, CampaignStore
+from repro.runtime.store import RETRYABLE_STATUSES, open_store
 from repro.runtime.tasks import execute_task
 
 
@@ -229,6 +229,7 @@ def run_campaign(
     heartbeat=None,
     chaos: Optional[FaultPlan] = None,
     durability: Optional[str] = None,
+    backend: Optional[str] = None,
 ) -> CampaignRunStats:
     """Execute every pending task of ``spec``, appending results to ``directory``.
 
@@ -276,6 +277,12 @@ def run_campaign(
     durability:
         Store write discipline override (``"flush"``/``"fsync"``),
         defaulting to ``spec.durability``.
+    backend:
+        Store backend override (``"jsonl"``/``"sqlite"``), defaulting to
+        the directory's existing backend, else ``spec.store`` — see
+        :func:`~repro.runtime.store.open_store`.  The backend never
+        changes which rows exist, only how they are stored, so the
+        campaign digest is backend-independent.
 
     Tasks whose key already has a ``"done"`` row are skipped — resuming an
     interrupted campaign finishes the remainder and converges to the same
@@ -304,8 +311,11 @@ def run_campaign(
                 "kill strands a multiprocessing pool); use workers<=1 and no pool"
             )
     effective_timeout = task_timeout_s if task_timeout_s is not None else spec.task_timeout_s
-    store = CampaignStore(
-        directory, durability=durability if durability is not None else spec.durability
+    store = open_store(
+        directory,
+        durability=durability if durability is not None else spec.durability,
+        backend=backend,
+        default_backend=spec.store,
     )
     store.initialize(spec)
     payloads = spec.task_payloads()

@@ -51,7 +51,7 @@ from repro.runtime.aggregate import campaign_digest, campaign_records
 from repro.runtime.faults import FaultPlan, require_chaos
 from repro.runtime.scheduler import DEFAULT_RETRY_POLICY, RetryPolicy, run_campaign
 from repro.runtime.spec import CampaignSpec, check_shard
-from repro.runtime.store import CampaignStore, merge_shards
+from repro.runtime.store import merge_shards, open_store
 
 #: Heartbeat filename inside each shard directory.
 HEARTBEAT_FILENAME = "heartbeat"
@@ -454,9 +454,10 @@ class ShardCoordinator:
         *reported*, not raised, so callers can salvage partial results.
         """
         started = time.monotonic()
-        out_store = CampaignStore(
+        out_store = open_store(
             self.out_dir,
             durability=self.durability if self.durability is not None else self.spec.durability,
+            default_backend=self.spec.store,
         )
         out_store.initialize(self.spec)
 
@@ -470,7 +471,9 @@ class ShardCoordinator:
 
         def land(report: ShardReport, status: str) -> None:
             report.status = status
-            merge_shards(self.out_dir, [self.shard_dir(report.index)])
+            merge_shards(
+                self.out_dir, [self.shard_dir(report.index)], durability=self.durability
+            )
 
         def crash(report: ShardReport) -> None:
             if report.restarts >= self.max_restarts:
@@ -478,7 +481,11 @@ class ShardCoordinator:
                 # across its dispatches — they are valid, resumable work.
                 report.status = "poisoned"
                 if (self.shard_dir(report.index) / "spec.json").exists():
-                    merge_shards(self.out_dir, [self.shard_dir(report.index)])
+                    merge_shards(
+                        self.out_dir,
+                        [self.shard_dir(report.index)],
+                        durability=self.durability,
+                    )
                 return
             report.restarts += 1
             next_dispatch[report.index] = time.monotonic() + self._backoff_delay(

@@ -14,7 +14,11 @@ timing and cache flags), identical aggregate
 ``campaign_digest``.  The seeded test sweep layers the other execution
 modes on top: a persistent two-worker :class:`WorkerPool` shared by all
 fuzzed campaigns (warm starts), occasional fresh pools with other worker
-counts, and a kill+resume at a seeded cut point of the JSONL store.
+counts, a kill+resume at a seeded cut point of the JSONL store, the
+SQLite backend (including its own kill+resume via a seeded ``DELETE`` of
+the results-table tail), the incremental-aggregate report path, and
+compaction of both backends — every variant must land on the byte-exact
+serial reference digest.
 
 Collected by pytest via the ``python_files`` entry in ``pytest.ini``.
 """
@@ -33,10 +37,13 @@ import pytest
 from repro.runtime import (
     CampaignSpec,
     CampaignStore,
+    SQLiteCampaignStore,
     WorkerPool,
     campaign_digest,
     campaign_records,
     merge_shards,
+    open_store,
+    records_from_summaries,
     run_campaign,
     task_shard_index,
 )
@@ -80,7 +87,14 @@ def spec_corpus(count: int, base_seed: int = 0):
 
 
 def _digest_of(spec: CampaignSpec, directory) -> str:
-    return campaign_digest(campaign_records(spec, CampaignStore(directory).rows()))
+    return campaign_digest(campaign_records(spec, open_store(directory).rows()))
+
+
+def _incremental_digest_of(spec: CampaignSpec, directory) -> str:
+    """Digest via the persisted partial aggregates, not the full row log."""
+    return campaign_digest(
+        records_from_summaries(spec, open_store(directory).summaries())
+    )
 
 
 def _deterministic_rows(store: CampaignStore):
@@ -203,6 +217,62 @@ def test_campaign_execution_modes_match_serial_reference(seed, tmp_path, shared_
     assert _digest_of(spec, killed) == reference, (
         f"{ctx} kill+resume (cut={cut}) digest diverged from the serial reference"
     )
+
+    # Incremental aggregation: the persisted partial aggregates feed the
+    # same record builder as the full-row scan — digest-identical.
+    assert _incremental_digest_of(spec, tmp_path / "serial") == reference, (
+        f"{ctx} incremental-aggregate digest diverged from the full-row reference"
+    )
+
+    # SQLite backend: the same campaign through the indexed store, checked
+    # via both the full-row path and the incremental-aggregate path.
+    sqlite_dir = tmp_path / "sqlite"
+    sqlite_stats = run_campaign(spec, sqlite_dir, workers=0, backend="sqlite")
+    assert sqlite_stats.failed == 0, f"{ctx} sqlite run had failing tasks"
+    sqlite_store = open_store(sqlite_dir)
+    assert isinstance(sqlite_store, SQLiteCampaignStore), (
+        f"{ctx} backend override did not select the sqlite store"
+    )
+    assert _digest_of(spec, sqlite_dir) == reference, (
+        f"{ctx} sqlite digest diverged from the serial reference"
+    )
+    assert _incremental_digest_of(spec, sqlite_dir) == reference, (
+        f"{ctx} sqlite incremental digest diverged from the serial reference"
+    )
+
+    # SQLite kill+resume: drop the tail of the results table at a seeded
+    # cut (a crash between transactions) and let the executor finish.
+    conn = sqlite_store._connect()
+    sqlite_cut = rng.randrange(0, spec.num_tasks())
+    with conn:
+        conn.execute(
+            "DELETE FROM results WHERE id > (SELECT COALESCE(MAX(id), 0) FROM"
+            " (SELECT id FROM results ORDER BY id LIMIT ?))",
+            (sqlite_cut,),
+        )
+    sqlite_store.close()
+    sqlite_resumed = run_campaign(spec, sqlite_dir, workers=0)
+    assert sqlite_resumed.skipped == sqlite_cut, (
+        f"{ctx} sqlite resume after cut={sqlite_cut} skipped "
+        f"{sqlite_resumed.skipped} tasks"
+    )
+    assert _digest_of(spec, sqlite_dir) == reference, (
+        f"{ctx} sqlite kill+resume (cut={sqlite_cut}) digest diverged"
+    )
+
+    # Compaction is digest-preserving on both backends, even with a
+    # superseded duplicate row planted on top of the resumed stores.
+    for directory in (killed, sqlite_dir):
+        store = open_store(directory)
+        store.append(store.rows()[0])
+        stats = store.compact()
+        assert stats.rows_dropped >= 1, f"{ctx} compaction dropped nothing"
+        assert _digest_of(spec, directory) == reference, (
+            f"{ctx} compacted {store.backend} digest diverged from the reference"
+        )
+        assert _incremental_digest_of(spec, directory) == reference, (
+            f"{ctx} compacted {store.backend} incremental digest diverged"
+        )
 
 
 @pytest.mark.parametrize("n_shards", SHARD_COUNTS)

@@ -18,6 +18,8 @@ only, much cheaper), totalling 25 seeded specs plus targeted recovery
 tests.
 """
 
+import dataclasses
+
 import pytest
 
 from repro.exceptions import SupervisionError
@@ -30,6 +32,7 @@ from repro.runtime import (
     ShardCoordinator,
     campaign_digest,
     campaign_records,
+    open_store,
     run_campaign,
 )
 from repro.runtime.faults import CHAOS_ENV_VAR
@@ -62,7 +65,7 @@ def chaos_spec(seed: int) -> CampaignSpec:
 def serial_digest(spec: CampaignSpec, tmp_path) -> str:
     reference = tmp_path / "serial-reference"
     run_campaign(spec, reference, workers=0)
-    return campaign_digest(campaign_records(spec, CampaignStore(reference).rows()))
+    return campaign_digest(campaign_records(spec, open_store(reference).rows()))
 
 
 def supervise(spec, tmp_path, executor, plan, **overrides):
@@ -96,15 +99,23 @@ def assert_converged(report, spec, expected, seed):
 
 
 class TestChaosCorpusSubprocess:
+    # Both store backends ride the same corpus: the spec's ``store`` field
+    # travels through spec.json to every shard subprocess, so the sqlite
+    # leg proves the indexed backend's kill+resume path converges too.
+    @pytest.mark.parametrize("backend", ["jsonl", "sqlite"])
     @pytest.mark.parametrize("seed", SUBPROCESS_SEEDS)
     def test_supervised_run_converges_under_kills_hangs_and_failures(
-        self, tmp_path, chaos_gate, seed
+        self, tmp_path, chaos_gate, seed, backend
     ):
-        spec = chaos_spec(seed)
+        spec = dataclasses.replace(chaos_spec(seed), store=backend)
         expected = serial_digest(spec, tmp_path)
         plan = FaultPlan(p_kill=0.1, p_hang=0.05, p_fail=0.15, seed=seed, hang_s=60.0)
         report = supervise(spec, tmp_path, LocalProcessExecutor(), plan).run()
         assert_converged(report, spec, expected, seed)
+        results_name = "results.sqlite" if backend == "sqlite" else "results.jsonl"
+        assert (tmp_path / "supervised" / results_name).exists(), (
+            f"seed={seed}: the supervised store is not the {backend} backend"
+        )
 
 
 class TestChaosCorpusInline:

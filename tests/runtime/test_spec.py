@@ -183,3 +183,28 @@ class TestValidation:
     def test_capped_oracle_names_accepted(self):
         spec = small_spec(oracles=("capped:greedy-min-degree",))
         assert spec.oracles == ("capped:greedy-min-degree",)
+
+
+class TestStoreBackendField:
+    def test_default_backend_is_jsonl(self):
+        assert small_spec().store == "jsonl"
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(CampaignError, match="store"):
+            small_spec(store="parquet")
+
+    def test_backend_survives_the_round_trip(self):
+        spec = small_spec(store="sqlite")
+        assert CampaignSpec.from_json(spec.to_json()) == spec
+        assert spec.to_dict()["store"] == "sqlite"
+
+    def test_default_backend_is_not_serialized(self):
+        # Older spec files (and their digests) predate the field: the
+        # default must serialize to exactly the same JSON as before.
+        assert "store" not in small_spec().to_dict()
+
+    def test_digest_excludes_the_backend(self):
+        # The backend is a storage detail, not campaign identity: the
+        # same grid in JSONL and SQLite is the *same campaign*, so shard
+        # stores of either backend merge and resume interchangeably.
+        assert small_spec(store="sqlite").digest() == small_spec().digest()

@@ -7,7 +7,14 @@ import json
 import pytest
 
 from repro.exceptions import CampaignError
-from repro.runtime import CampaignSpec, CampaignStore, merge_shards
+from repro.runtime import (
+    CampaignSpec,
+    CampaignStore,
+    CompactionStats,
+    merge_shards,
+    summaries_of,
+    summarize_row,
+)
 
 from tests.runtime.test_spec import small_spec
 
@@ -277,6 +284,297 @@ class TestDurability:
         more = run_campaign(spec, tmp_path / "flush", workers=0, durability="flush")
         assert more.failed == 0
         assert len(synced) == spec.num_tasks()
+
+
+class TestTailCheckCache:
+    """append() checks the tail once per instance, not once per row."""
+
+    def _spy(self, monkeypatch):
+        calls = []
+        real = CampaignStore._needs_tail_newline
+
+        def spy(store):
+            calls.append(1)
+            return real(store)
+
+        monkeypatch.setattr(CampaignStore, "_needs_tail_newline", spy)
+        return calls
+
+    def test_repeated_appends_check_the_tail_once(self, tmp_path, monkeypatch):
+        calls = self._spy(monkeypatch)
+        store = CampaignStore(tmp_path)
+        for index in range(5):
+            store.append(row(f"t{index}"))
+        assert len(calls) == 1  # only the first append pays the open+seek+read
+        assert len(store.rows()) == 5
+
+    def test_append_many_is_one_check_and_one_write(self, tmp_path, monkeypatch):
+        calls = self._spy(monkeypatch)
+        store = CampaignStore(tmp_path)
+        store.append_many([row("a"), row("b"), row("c")])
+        store.append_many([row("d")])
+        assert len(calls) == 1
+        assert [r["task_key"] for r in store.rows()] == ["a", "b", "c", "d"]
+
+    def test_fresh_instance_rechecks_the_tail(self, tmp_path, monkeypatch):
+        calls = self._spy(monkeypatch)
+        CampaignStore(tmp_path).append(row("a"))
+        CampaignStore(tmp_path).append(row("b"))
+        assert len(calls) == 2  # the cache is per instance, never global state
+        assert CampaignStore(tmp_path).completed_keys() == {"a", "b"}
+
+    def test_external_truncation_invalidates_the_cache(self, tmp_path, monkeypatch):
+        calls = self._spy(monkeypatch)
+        store = CampaignStore(tmp_path)
+        store.append(row("a"))
+        store.append(row("b"))
+        assert len(calls) == 1
+        # A kill (simulated by external tampering) changes the file size,
+        # so the next append re-checks and terminates the dead tail.
+        text = store.results_path.read_text()
+        store.results_path.write_text(text + '{"task_key": "partial')
+        store.append(row("c"))
+        assert len(calls) == 2
+        assert store.completed_keys() == {"a", "b", "c"}
+
+
+class TestMergeDurability:
+    """merge_shards honors the spec's durability (the old code lost it)."""
+
+    def _fsync_counter(self, monkeypatch):
+        import os as os_module
+
+        synced = []
+        real_fsync = os_module.fsync
+        monkeypatch.setattr(
+            "repro.runtime.store.os.fsync",
+            lambda fd: (synced.append(fd), real_fsync(fd))[1],
+        )
+        return synced
+
+    def _shards(self, tmp_path, spec):
+        dirs = []
+        for index in range(2):
+            shard = CampaignStore(tmp_path / f"shard{index}")
+            shard.initialize(spec)
+            shard.append(row(f"task-{index}"))
+            dirs.append(shard.directory)
+        return dirs
+
+    def test_fsync_spec_syncs_batches_and_aggregates(self, tmp_path, monkeypatch):
+        spec = small_spec(durability="fsync")
+        shard_dirs = self._shards(tmp_path, spec)
+        synced = self._fsync_counter(monkeypatch)
+        merged = merge_shards(tmp_path / "merged", shard_dirs)
+        assert merged.durability == "fsync"
+        # One batched fsync per shard plus one for the aggregate sidecar —
+        # not zero (the bug) and not one-per-row (the slow path).
+        assert len(synced) == len(shard_dirs) + 1
+        assert merged.completed_keys() == {"task-0", "task-1"}
+
+    def test_flush_spec_never_pays_the_fsync(self, tmp_path, monkeypatch):
+        shard_dirs = self._shards(tmp_path, small_spec())
+        synced = self._fsync_counter(monkeypatch)
+        merged = merge_shards(tmp_path / "merged", shard_dirs)
+        assert merged.durability == "flush"
+        assert synced == []
+
+    def test_explicit_override_beats_the_spec(self, tmp_path, monkeypatch):
+        fsync_dirs = self._shards(tmp_path / "fs", small_spec(durability="fsync"))
+        flush_dirs = self._shards(tmp_path / "fl", small_spec())
+        synced = self._fsync_counter(monkeypatch)
+        merge_shards(tmp_path / "fs" / "merged", fsync_dirs, durability="flush")
+        assert synced == []
+        merge_shards(tmp_path / "fl" / "merged", flush_dirs, durability="fsync")
+        assert len(synced) == 3
+
+
+class TestCompaction:
+    def test_compact_keeps_exactly_the_latest_row_per_key(self, tmp_path):
+        store = CampaignStore(tmp_path)
+        store.append(row("a", status="failed", attempt=1))
+        store.append(row("b"))
+        store.append(row("a", attempt=2))
+        before = store.latest_rows()
+        stats = store.compact()
+        assert stats.rows_before == 3
+        assert stats.rows_after == 2
+        assert stats.rows_dropped == 1
+        assert stats.bytes_after < stats.bytes_before
+        # Survivors keep the file order of their final occurrence.
+        assert [r["task_key"] for r in store.rows()] == ["b", "a"]
+        assert store.latest_rows() == before
+        assert store.latest_rows()["a"]["attempt"] == 2
+
+    def test_compact_drops_byte_identical_duplicates(self, tmp_path):
+        store = CampaignStore(tmp_path)
+        store.append(row("a"))
+        store.append(row("a"))
+        assert store.compact().rows_dropped == 1
+        assert [r["task_key"] for r in store.rows()] == ["a"]
+
+    def test_compact_is_idempotent(self, tmp_path):
+        store = CampaignStore(tmp_path)
+        store.append(row("a", status="failed"))
+        store.append(row("a"))
+        first = store.compact()
+        second = store.compact()
+        assert second.rows_dropped == 0
+        assert second.rows_before == first.rows_after
+        assert second.bytes_after == first.bytes_after
+
+    def test_compact_without_results_file_is_a_no_op(self, tmp_path):
+        assert CampaignStore(tmp_path).compact() == CompactionStats(0, 0, 0, 0)
+
+    def test_compact_discards_the_truncated_tail(self, tmp_path):
+        store = CampaignStore(tmp_path)
+        store.append(row("a"))
+        store.append(row("b"))
+        text = store.results_path.read_text()
+        store.results_path.write_text(text + '{"task_key": "half')
+        store.compact()
+        # The compacted log is clean JSONL: every line parses.
+        for line in store.results_path.read_text().splitlines():
+            json.loads(line)
+        store.append(row("c"))
+        assert store.completed_keys() == {"a", "b", "c"}
+
+    def test_compact_leaves_no_temp_file(self, tmp_path):
+        store = CampaignStore(tmp_path)
+        store.append(row("a"))
+        store.compact()
+        assert [p.name for p in tmp_path.glob("*.tmp")] == []
+
+    def test_compact_preserves_summaries(self, tmp_path):
+        store = CampaignStore(tmp_path)
+        store.append(row("x", status="failed", attempt=1))
+        store.append(row("y", instance_cache_hit=True))
+        store.append(row("x", attempt=2))
+        before = store.summaries()
+        store.compact()
+        assert store.summaries() == before
+        assert CampaignStore(tmp_path).summaries() == before  # sidecar refreshed
+
+
+class TestIncrementalAggregates:
+    def _parse_counter(self, monkeypatch):
+        import repro.runtime.store as store_module
+
+        calls = []
+        real = store_module._parse_row
+
+        def spy(raw):
+            calls.append(raw)
+            return real(raw)
+
+        monkeypatch.setattr(store_module, "_parse_row", spy)
+        return calls
+
+    def test_summaries_match_the_full_row_scan(self, tmp_path):
+        store = CampaignStore(tmp_path)
+        store.append(row("a", instance_cache_hit=True))
+        store.append(row("b", status="failed", attempt=2, error="boom"))
+        store.append(row("a", instance_cache_hit=False))
+        assert store.summaries() == summaries_of(store.rows())
+
+    def test_summaries_empty_without_results_file(self, tmp_path):
+        assert CampaignStore(tmp_path).summaries() == {}
+
+    def test_second_call_scans_only_new_rows(self, tmp_path, monkeypatch):
+        store = CampaignStore(tmp_path)
+        store.append(row("a"))
+        store.append(row("b"))
+        store.summaries()  # builds the sidecar covering a and b
+        calls = self._parse_counter(monkeypatch)
+        assert store.summaries() == summaries_of(store.rows())
+        parsed_by_summaries = len(calls) - len(store.rows())  # rows() also parses
+        assert parsed_by_summaries == 0  # nothing new: pure cache read
+        calls.clear()
+        store.append(row("c"))
+        summaries = store.summaries()
+        assert summaries["c"] == summarize_row(row("c"))
+        assert len(calls) == 1  # only the fresh row was parsed
+
+    def test_sidecar_records_the_byte_cursor(self, tmp_path):
+        store = CampaignStore(tmp_path)
+        store.append(row("a"))
+        store.summaries()
+        payload = json.loads(store.aggregates_path.read_text())
+        assert payload["byte_offset"] == store.results_path.stat().st_size
+        assert set(payload["summaries"]) == {"a"}
+
+    def test_garbage_sidecar_triggers_a_rebuild(self, tmp_path):
+        store = CampaignStore(tmp_path)
+        store.append(row("a"))
+        for garbage in ("not json", '{"version": 999}', '{"version": 1, "byte_offset": -1, "summaries": {}}'):
+            store.aggregates_path.write_text(garbage)
+            assert store.summaries() == summaries_of(store.rows())
+
+    def test_truncation_below_the_cursor_triggers_a_rebuild(self, tmp_path):
+        store = CampaignStore(tmp_path)
+        store.append(row("a"))
+        store.append(row("b"))
+        store.summaries()
+        # Roll the log back to just row "a" (a restored backup, say): the
+        # stale cursor now points past EOF and the sidecar must be rebuilt.
+        first_line = store.results_path.read_text().splitlines(keepends=True)[0]
+        store.results_path.write_text(first_line)
+        assert set(store.summaries()) == {"a"}
+
+    def test_rewrite_off_the_line_boundary_triggers_a_rebuild(self, tmp_path):
+        store = CampaignStore(tmp_path)
+        store.append(row("a"))
+        store.summaries()
+        # An external rewrite grows the file but the byte before the old
+        # cursor is no longer a newline: the cursor does not land on a
+        # line boundary, so the cache is discarded and rebuilt.
+        size = store.results_path.stat().st_size
+        store.results_path.write_bytes(
+            b"x" * size + b"\n" + (json.dumps(row("z")) + "\n").encode()
+        )
+        assert set(store.summaries()) == {"z"}
+
+    def test_unterminated_tail_is_served_but_not_cached(self, tmp_path):
+        store = CampaignStore(tmp_path)
+        store.append(row("a"))
+        with open(store.results_path, "a") as handle:
+            handle.write(json.dumps(row("b")))  # complete row, no newline yet
+        summaries = store.summaries()
+        assert set(summaries) == {"a", "b"}  # matches rows(): the row parses
+        payload = json.loads(store.aggregates_path.read_text())
+        assert set(payload["summaries"]) == {"a"}  # cursor never passes the tail
+        # Once the tail is terminated by the next append, it gets cached.
+        store.append(row("c"))
+        store.summaries()
+        payload = json.loads(store.aggregates_path.read_text())
+        assert set(payload["summaries"]) == {"a", "b", "c"}
+
+    def test_merge_combines_partials_without_rescanning(self, tmp_path, monkeypatch):
+        spec = small_spec()
+        shard_dirs = []
+        for index in range(2):
+            shard = CampaignStore(tmp_path / f"shard{index}")
+            shard.initialize(spec)
+            shard.append(row(f"t{index}", instance_cache_hit=bool(index)))
+            shard.summaries()  # each shard lands with its partial built
+            shard_dirs.append(shard.directory)
+        merged = merge_shards(tmp_path / "merged", shard_dirs)
+        calls = self._parse_counter(monkeypatch)
+        combined = merged.summaries()
+        assert calls == []  # the merge combined shard partials: no row scan
+        assert combined == summaries_of(merged.rows())
+
+    def test_merge_overlap_resolves_like_the_row_log(self, tmp_path):
+        spec = small_spec()
+        first = CampaignStore(tmp_path / "s0")
+        first.initialize(spec)
+        first.append(row("x", status="failed", attempt=1))
+        second = CampaignStore(tmp_path / "s1")
+        second.initialize(spec)
+        second.append(row("x", attempt=2))
+        merged = merge_shards(tmp_path / "merged", [first.directory, second.directory])
+        assert merged.summaries() == summaries_of(merged.rows())
+        assert merged.summaries()["x"]["status"] == "done"
 
 
 class TestRetryExhaustion:

@@ -1,0 +1,347 @@
+"""Tests for the SQLite campaign store and the open_store backend dispatch.
+
+The SQLite backend must be behaviorally indistinguishable from the JSONL
+store behind the shared :class:`~repro.runtime.store.BaseCampaignStore`
+surface: the parity tests here drive both backends with the same row
+sequences and assert every query view agrees, and the kill-simulation
+tests exercise the resume path the chaos harness leans on (deleting the
+tail of the ``results`` table stands in for rows lost to a crash between
+transactions, exactly like truncating ``results.jsonl``).
+"""
+
+from __future__ import annotations
+
+import json
+import sqlite3
+
+import pytest
+
+from repro.exceptions import CampaignError
+from repro.runtime import (
+    CampaignStore,
+    CompactionStats,
+    SQLiteCampaignStore,
+    campaign_digest,
+    detect_backend,
+    merge_shards,
+    open_store,
+    records_from_summaries,
+    run_campaign,
+    summaries_of,
+)
+
+from tests.runtime.test_spec import small_spec
+
+
+def row(key: str, status: str = "done", **extra) -> dict:
+    data = {"task_key": key, "status": status}
+    data.update(extra)
+    return data
+
+
+#: One row sequence covering retries, duplicates, cache flags and statuses.
+PARITY_ROWS = [
+    row("a", status="failed", attempt=1, error="boom"),
+    row("b", instance_cache_hit=True),
+    row("c", status="timeout", attempt=4),
+    row("a", attempt=2, instance_cache_hit=False),
+    row("d", status="failed"),  # no attempt field (legacy row)
+    row("b", instance_cache_hit=True),  # byte-identical duplicate
+]
+
+
+class TestBackendParity:
+    """Same rows in, same answers out — for every query view."""
+
+    def _both(self, tmp_path):
+        jsonl = CampaignStore(tmp_path / "jsonl")
+        sqlite = SQLiteCampaignStore(tmp_path / "sqlite")
+        for store in (jsonl, sqlite):
+            for entry in PARITY_ROWS:
+                store.append(entry)
+        return jsonl, sqlite
+
+    def test_rows_and_latest_rows_agree(self, tmp_path):
+        jsonl, sqlite = self._both(tmp_path)
+        assert sqlite.rows() == jsonl.rows()
+        assert sqlite.latest_rows() == jsonl.latest_rows()
+
+    def test_query_views_agree(self, tmp_path):
+        jsonl, sqlite = self._both(tmp_path)
+        assert sqlite.completed_keys() == jsonl.completed_keys()
+        assert sqlite.status_counts() == jsonl.status_counts()
+        assert sqlite.cache_counts() == jsonl.cache_counts()
+        for budget in (1, 2, 3, 4):
+            assert sqlite.retry_exhausted_keys(budget) == jsonl.retry_exhausted_keys(
+                budget
+            ), f"retry_exhausted_keys({budget}) diverged between backends"
+
+    def test_summaries_agree(self, tmp_path):
+        jsonl, sqlite = self._both(tmp_path)
+        assert sqlite.summaries() == jsonl.summaries()
+        assert sqlite.summaries() == summaries_of(sqlite.rows())
+
+    def test_append_many_matches_appends(self, tmp_path):
+        one_by_one = SQLiteCampaignStore(tmp_path / "single")
+        batched = SQLiteCampaignStore(tmp_path / "batch")
+        for entry in PARITY_ROWS:
+            one_by_one.append(entry)
+        batched.append_many(PARITY_ROWS)
+        assert batched.rows() == one_by_one.rows()
+        batched.append_many([])  # empty batch is a no-op, not an error
+        assert len(batched.rows()) == len(PARITY_ROWS)
+
+
+class TestSQLiteBasics:
+    def test_round_trip_preserves_payload_fields(self, tmp_path):
+        store = SQLiteCampaignStore(tmp_path)
+        store.initialize(small_spec())
+        store.append(row("a", wall_time_s=0.5, result={"color_bound": 3}))
+        (restored,) = store.rows()
+        assert restored == row("a", wall_time_s=0.5, result={"color_bound": 3})
+
+    def test_append_requires_key_and_status(self, tmp_path):
+        with pytest.raises(CampaignError):
+            SQLiteCampaignStore(tmp_path).append({"task_key": "a"})
+
+    def test_empty_directory_answers_like_an_empty_store(self, tmp_path):
+        store = SQLiteCampaignStore(tmp_path)
+        assert store.rows() == []
+        assert store.latest_rows() == {}
+        assert store.completed_keys() == set()
+        assert store.status_counts() == {}
+        assert store.cache_counts() == {"cache_hits": 0, "cache_misses": 0}
+        assert store.retry_exhausted_keys(3) == set()
+        assert store.summaries() == {}
+        assert not store.results_path.exists()  # queries never create the db
+
+    def test_max_attempts_must_be_positive(self, tmp_path):
+        with pytest.raises(CampaignError, match="max_attempts"):
+            SQLiteCampaignStore(tmp_path).retry_exhausted_keys(0)
+
+    def test_spec_binding_matches_jsonl_semantics(self, tmp_path):
+        store = SQLiteCampaignStore(tmp_path)
+        store.initialize(small_spec())
+        store.initialize(small_spec())  # same digest: fine
+        with pytest.raises(CampaignError, match="refusing"):
+            store.initialize(small_spec(seed=99))
+
+    def test_close_releases_and_reopens(self, tmp_path):
+        store = SQLiteCampaignStore(tmp_path)
+        store.append(row("a"))
+        store.close()
+        store.close()  # idempotent
+        store.append(row("b"))
+        assert store.completed_keys() == {"a", "b"}
+
+    @pytest.mark.parametrize(
+        "durability, synchronous", [("flush", 0), ("fsync", 2)]
+    )
+    def test_durability_maps_to_pragma_synchronous(
+        self, tmp_path, durability, synchronous
+    ):
+        store = SQLiteCampaignStore(tmp_path, durability=durability)
+        store.append(row("a"))
+        (level,) = store._connect().execute("PRAGMA synchronous").fetchone()
+        assert level == synchronous
+
+    def test_unknown_durability_rejected(self, tmp_path):
+        with pytest.raises(CampaignError, match="durability"):
+            SQLiteCampaignStore(tmp_path, durability="paranoid")
+
+
+class TestSQLiteKillResume:
+    def _kill_tail(self, store: SQLiteCampaignStore, survivors: int) -> None:
+        """Simulate a crash: drop every row after the first ``survivors``."""
+        conn = store._connect()
+        with conn:
+            conn.execute(
+                "DELETE FROM results WHERE id > "
+                "(SELECT COALESCE(MAX(id), 0) FROM (SELECT id FROM results ORDER BY id LIMIT ?))",
+                (survivors,),
+            )
+
+    def test_killed_run_resumes_to_the_serial_digest(self, tmp_path):
+        spec = small_spec(store="sqlite")
+        reference = run_campaign(spec, tmp_path / "ref", workers=0)
+        assert reference.failed == 0
+        ref_store = open_store(tmp_path / "ref")
+        ref_digest = campaign_digest(
+            records_from_summaries(spec, ref_store.summaries())
+        )
+
+        run_campaign(spec, tmp_path / "killed", workers=0)
+        killed = open_store(tmp_path / "killed")
+        assert isinstance(killed, SQLiteCampaignStore)
+        killed.summaries()  # advance the aggregate cursor past the full run
+        self._kill_tail(killed, survivors=3)
+        killed.close()
+        resumed = run_campaign(spec, tmp_path / "killed", workers=0)
+        assert resumed.skipped == 3
+        assert resumed.executed == spec.num_tasks() - 3
+        resumed_store = open_store(tmp_path / "killed")
+        digest = campaign_digest(
+            records_from_summaries(spec, resumed_store.summaries())
+        )
+        assert digest == ref_digest
+
+    def test_cursor_past_max_id_rebuilds_the_aggregate(self, tmp_path):
+        store = SQLiteCampaignStore(tmp_path)
+        store.append_many([row("a"), row("b"), row("c")])
+        store.summaries()  # cursor = 3
+        self._kill_tail(store, survivors=1)
+        # The stale aggregate still holds b and c; the rebuild drops them.
+        assert set(store.summaries()) == {"a"}
+        assert store.summaries() == summaries_of(store.rows())
+
+    def test_summaries_scan_only_new_rows(self, tmp_path):
+        store = SQLiteCampaignStore(tmp_path)
+        store.append(row("a", status="failed", attempt=1))
+        store.summaries()
+        store.append(row("a", attempt=2))
+        store.append(row("b"))
+        summaries = store.summaries()
+        assert summaries == summaries_of(store.rows())
+        assert summaries["a"]["status"] == "done"
+        conn = store._connect()
+        (cursor,) = conn.execute(
+            "SELECT value FROM meta WHERE key = 'aggregate_cursor'"
+        ).fetchone()
+        (max_id,) = conn.execute("SELECT MAX(id) FROM results").fetchone()
+        assert int(cursor) == max_id
+
+
+class TestSQLiteCompaction:
+    def test_compact_keeps_the_latest_row_per_key(self, tmp_path):
+        store = SQLiteCampaignStore(tmp_path)
+        for entry in PARITY_ROWS:
+            store.append(entry)
+        before = store.latest_rows()
+        stats = store.compact()
+        assert stats.rows_before == len(PARITY_ROWS)
+        assert stats.rows_after == len(before)
+        assert store.latest_rows() == before
+        assert store.compact().rows_dropped == 0  # idempotent
+
+    def test_compact_without_database_is_a_no_op(self, tmp_path):
+        assert SQLiteCampaignStore(tmp_path).compact() == CompactionStats(0, 0, 0, 0)
+
+    def test_compact_preserves_summaries(self, tmp_path):
+        store = SQLiteCampaignStore(tmp_path)
+        for entry in PARITY_ROWS:
+            store.append(entry)
+        before = store.summaries()
+        store.compact()
+        assert store.summaries() == before
+
+
+class TestOpenStore:
+    def test_fresh_directory_uses_the_default_backend(self, tmp_path):
+        assert isinstance(open_store(tmp_path / "a"), CampaignStore)
+        assert isinstance(
+            open_store(tmp_path / "b", default_backend="sqlite"), SQLiteCampaignStore
+        )
+
+    def test_existing_results_file_wins(self, tmp_path):
+        CampaignStore(tmp_path / "jl").append(row("a"))
+        SQLiteCampaignStore(tmp_path / "sq").append(row("a"))
+        assert detect_backend(tmp_path / "jl") == "jsonl"
+        assert detect_backend(tmp_path / "sq") == "sqlite"
+        # default_backend is only a fallback: the data decides.
+        assert isinstance(
+            open_store(tmp_path / "jl", default_backend="sqlite"), CampaignStore
+        )
+        assert isinstance(
+            open_store(tmp_path / "sq", default_backend="jsonl"), SQLiteCampaignStore
+        )
+
+    def test_bound_spec_names_its_backend(self, tmp_path):
+        store = SQLiteCampaignStore(tmp_path)
+        store.initialize(small_spec(store="sqlite"))
+        assert detect_backend(tmp_path) == "sqlite"
+        assert isinstance(open_store(tmp_path), SQLiteCampaignStore)
+
+    def test_fresh_directory_detects_nothing(self, tmp_path):
+        assert detect_backend(tmp_path) is None
+
+    def test_explicit_backend_conflicting_with_data_is_refused(self, tmp_path):
+        CampaignStore(tmp_path / "jl").append(row("a"))
+        SQLiteCampaignStore(tmp_path / "sq").append(row("a"))
+        with pytest.raises(CampaignError, match="already holds jsonl"):
+            open_store(tmp_path / "jl", backend="sqlite")
+        with pytest.raises(CampaignError, match="already holds sqlite"):
+            open_store(tmp_path / "sq", backend="jsonl")
+        # Matching the data is fine, as is overriding a rowless spec.
+        assert isinstance(open_store(tmp_path / "jl", backend="jsonl"), CampaignStore)
+        bound = CampaignStore(tmp_path / "bound")
+        bound.initialize(small_spec())
+        assert isinstance(
+            open_store(tmp_path / "bound", backend="sqlite"), SQLiteCampaignStore
+        )
+
+    def test_unknown_backend_names_rejected(self, tmp_path):
+        with pytest.raises(CampaignError, match="backend"):
+            open_store(tmp_path, backend="parquet")
+        with pytest.raises(CampaignError, match="backend"):
+            open_store(tmp_path, default_backend="parquet")
+
+
+class TestSQLiteCampaignRuns:
+    def test_spec_store_field_drives_run_campaign(self, tmp_path):
+        spec = small_spec(store="sqlite")
+        stats = run_campaign(spec, tmp_path, workers=0)
+        assert stats.failed == 0
+        assert (tmp_path / "results.sqlite").exists()
+        assert not (tmp_path / "results.jsonl").exists()
+
+    def test_backend_override_beats_the_spec_default(self, tmp_path):
+        stats = run_campaign(small_spec(), tmp_path, workers=0, backend="sqlite")
+        assert stats.failed == 0
+        assert (tmp_path / "results.sqlite").exists()
+
+    def test_both_backends_produce_the_same_digest(self, tmp_path):
+        spec = small_spec()
+        run_campaign(spec, tmp_path / "jl", workers=0)
+        run_campaign(spec, tmp_path / "sq", workers=0, backend="sqlite")
+        jl = open_store(tmp_path / "jl")
+        sq = open_store(tmp_path / "sq")
+        digest_jl = campaign_digest(records_from_summaries(spec, jl.summaries()))
+        digest_sq = campaign_digest(records_from_summaries(spec, sq.summaries()))
+        assert digest_jl == digest_sq
+
+    def test_merge_fuses_mixed_backend_shards(self, tmp_path):
+        spec = small_spec()
+        run_campaign(spec, tmp_path / "shard0", shard=(0, 2))
+        run_campaign(spec, tmp_path / "shard1", shard=(1, 2), backend="sqlite")
+        run_campaign(spec, tmp_path / "serial", workers=0)
+        merged = merge_shards(
+            tmp_path / "merged", [tmp_path / "shard0", tmp_path / "shard1"]
+        )
+        serial = open_store(tmp_path / "serial")
+        assert merged.completed_keys() == serial.completed_keys()
+        assert campaign_digest(
+            records_from_summaries(spec, merged.summaries())
+        ) == campaign_digest(records_from_summaries(spec, serial.summaries()))
+
+    def test_sqlite_destination_follows_the_spec(self, tmp_path):
+        spec = small_spec(store="sqlite")
+        run_campaign(spec, tmp_path / "shard0", shard=(0, 2))
+        run_campaign(spec, tmp_path / "shard1", shard=(1, 2))
+        merged = merge_shards(
+            tmp_path / "merged", [tmp_path / "shard0", tmp_path / "shard1"]
+        )
+        assert isinstance(merged, SQLiteCampaignStore)
+        assert merged.completed_keys() == {
+            task.task_key for task in spec.expand()
+        }
+
+    def test_sqlite_payloads_are_canonical_json(self, tmp_path):
+        # The payload column stores sort_keys JSON, so dumping a row back
+        # out is byte-identical to what the JSONL backend would write.
+        store = SQLiteCampaignStore(tmp_path)
+        original = row("a", z_field=1, a_field=2)
+        store.append(original)
+        conn = sqlite3.connect(str(store.results_path))
+        (payload,) = conn.execute("SELECT payload FROM results").fetchone()
+        conn.close()
+        assert payload == json.dumps(original, sort_keys=True)

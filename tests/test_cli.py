@@ -277,3 +277,102 @@ class TestCampaignShardCLI:
     def test_merge_requires_shard_arguments(self, tmp_path):
         with pytest.raises(SystemExit):
             main(["campaign", "merge", "--out", str(tmp_path / "merged")])
+
+
+class TestCampaignStoreCLI:
+    """The store-facing subcommands: compact, --store, single-read status."""
+
+    SPEC = dict(TestCampaignCLI.SPEC, name="cli-store-campaign")
+
+    @pytest.fixture
+    def spec_path(self, tmp_path):
+        import json
+
+        path = tmp_path / "spec.json"
+        path.write_text(json.dumps(self.SPEC))
+        return path
+
+    def _digest(self, output: str) -> str:
+        return output.rsplit("aggregate digest: ", 1)[1].strip()
+
+    def test_compact_drops_superseded_rows_and_keeps_the_digest(
+        self, spec_path, tmp_path, capsys
+    ):
+        from repro.runtime import CampaignStore
+
+        out = tmp_path / "campaign"
+        assert main(
+            ["campaign", "run", "--spec", str(spec_path), "--out", str(out)]
+        ) == 0
+        reference = self._digest(capsys.readouterr().out)
+        # Plant a superseded duplicate row, as a crash-and-retry would.
+        store = CampaignStore(out)
+        store.append(store.rows()[0])
+        assert main(["campaign", "compact", "--out", str(out)]) == 0
+        output = capsys.readouterr().out
+        assert "5 -> 4 rows (1 superseded/duplicate dropped)" in output
+        assert self._digest(output) == reference
+        # Idempotent: a second compact finds nothing to drop.
+        assert main(["campaign", "compact", "--out", str(out)]) == 0
+        assert "4 -> 4 rows (0 superseded/duplicate dropped)" in capsys.readouterr().out
+
+    def test_compact_on_non_campaign_directory_errors(self, tmp_path, capsys):
+        assert main(["campaign", "compact", "--out", str(tmp_path / "nope")]) == 2
+        assert "campaign error" in capsys.readouterr().err
+
+    def test_store_flag_selects_the_sqlite_backend(self, spec_path, tmp_path, capsys):
+        assert main(
+            ["campaign", "run", "--spec", str(spec_path), "--out", str(tmp_path / "jl")]
+        ) == 0
+        reference = self._digest(capsys.readouterr().out)
+        out = tmp_path / "sq"
+        assert main(
+            [
+                "campaign", "run",
+                "--spec", str(spec_path),
+                "--out", str(out),
+                "--store", "sqlite",
+            ]
+        ) == 0
+        run_output = capsys.readouterr().out
+        assert "4/4 done" in run_output
+        assert self._digest(run_output) == reference
+        assert (out / "results.sqlite").is_file()
+        assert not (out / "results.jsonl").exists()
+        # status / report / compact all work against the indexed backend.
+        assert main(["campaign", "status", "--out", str(out)]) == 0
+        assert "cli-store-campaign" in capsys.readouterr().out
+        assert main(["campaign", "report", "--out", str(out)]) == 0
+        assert self._digest(capsys.readouterr().out) == reference
+        assert main(["campaign", "compact", "--out", str(out)]) == 0
+        assert self._digest(capsys.readouterr().out) == reference
+
+    def test_status_reads_the_row_log_at_most_once(
+        self, spec_path, tmp_path, capsys, monkeypatch
+    ):
+        import builtins
+
+        out = tmp_path / "campaign"
+        assert main(
+            ["campaign", "run", "--spec", str(spec_path), "--out", str(out)]
+        ) == 0
+        capsys.readouterr()
+
+        opens = []
+        real_open = builtins.open
+
+        def counting_open(file, *args, **kwargs):
+            if "results.jsonl" in str(file):
+                opens.append(str(file))
+            return real_open(file, *args, **kwargs)
+
+        monkeypatch.setattr(builtins, "open", counting_open)
+        # Warm: the run already built the aggregate sidecar, so status
+        # answers from it without touching the row log at all.
+        assert main(["campaign", "status", "--out", str(out)]) == 0
+        assert len(opens) == 0, f"warm status re-read the row log: {opens}"
+        # Cold: with the sidecar gone, one single scan rebuilds it — the
+        # old code opened the log 3-4 times for the same command.
+        (out / "aggregates.json").unlink()
+        assert main(["campaign", "status", "--out", str(out)]) == 0
+        assert len(opens) == 1, f"cold status read the row log {len(opens)} times"
