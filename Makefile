@@ -5,14 +5,15 @@
 # supervises that spec under injected kills + hangs and asserts the digest
 # still matches the serial reference; `make store-smoke` proves the JSONL,
 # SQLite and compacted stores (full-row and incremental-aggregate paths)
-# all land on one digest.
+# all land on one digest; `make obs-smoke` runs it with --trace and checks
+# the sidecar schema, the metric catalog and digest identity.
 
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
 SMOKE_DIR := .bench-smoke
 
-.PHONY: test bench bench-smoke campaign-smoke chaos-smoke store-smoke campaign-demo coverage check install clean
+.PHONY: test bench bench-smoke campaign-smoke chaos-smoke store-smoke obs-smoke campaign-demo coverage check install clean
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -50,12 +51,19 @@ chaos-smoke:
 store-smoke:
 	$(PYTHON) scripts/store_smoke.py
 
+# The same 8-task campaign with --trace: the trace.jsonl sidecar must be
+# schema-valid and hold the full span tree, the persisted metrics.json
+# must cover the required metric catalog, and the traced digest must be
+# byte-identical to the untraced reference.
+obs-smoke:
+	$(PYTHON) scripts/obs_smoke.py
+
 # The committed ≥200-task demo campaign (examples/campaign_demo.json).
 campaign-demo:
 	$(PYTHON) -m repro campaign run --spec examples/campaign_demo.json --out .campaign-demo --workers 4
 	$(PYTHON) -m repro campaign report --out .campaign-demo
 
-check: coverage bench-smoke campaign-smoke chaos-smoke store-smoke
+check: coverage bench-smoke campaign-smoke chaos-smoke store-smoke obs-smoke
 
 # pip's PEP-517 editable path needs the `wheel` package; fall back to the
 # legacy develop install on environments that ship setuptools without it.
@@ -63,5 +71,5 @@ install:
 	pip install -e . --no-build-isolation || $(PYTHON) setup.py develop
 
 clean:
-	rm -rf $(SMOKE_DIR) .campaign-smoke .campaign-demo .chaos-smoke .store-smoke .pytest_cache
+	rm -rf $(SMOKE_DIR) .campaign-smoke .campaign-demo .chaos-smoke .store-smoke .obs-smoke .pytest_cache
 	find . -name __pycache__ -type d -exec rm -rf {} +

@@ -32,4 +32,7 @@ python scripts/chaos_smoke.py
 echo "== store smoke =="
 python scripts/store_smoke.py
 
+echo "== obs smoke =="
+python scripts/obs_smoke.py
+
 echo "check: OK"

@@ -2,7 +2,8 @@
 """Line-coverage gate for the core packages, with a dependency-free fallback.
 
 Measures line coverage of ``src/repro/core``, ``src/repro/maxis``,
-``src/repro/graphs`` and ``src/repro/runtime`` under the full test suite
+``src/repro/graphs``, ``src/repro/runtime`` and ``src/repro/obs`` under
+the full test suite
 and fails when the aggregate drops below ``FAIL_UNDER`` percent (the
 floor measured when the gate was introduced — raise it when coverage
 improves, never lower it to make a regression pass).
@@ -31,7 +32,13 @@ REPO_ROOT = Path(__file__).resolve().parent.parent
 SRC = REPO_ROOT / "src"
 
 #: Packages whose line coverage is gated (paths under src/).
-TARGET_PACKAGES = ("repro/core", "repro/maxis", "repro/graphs", "repro/runtime")
+TARGET_PACKAGES = (
+    "repro/core",
+    "repro/maxis",
+    "repro/graphs",
+    "repro/runtime",
+    "repro/obs",
+)
 
 #: Aggregate fail-under floor in percent: the stdlib backend measured
 #: 93.6% (core 91.6 / maxis 94.5 / graphs 94.8) when the gate was
@@ -40,7 +47,8 @@ TARGET_PACKAGES = ("repro/core", "repro/maxis", "repro/graphs", "repro/runtime")
 #: dropping __init__.py (and runtime/tasks.py) from the counts, lifting
 #: the measured aggregate to 95.3% (floor 94).  PR 5's shard/worker-pool/
 #: instance-cache runtime plus its campaign fuzz harness measured 95.6%
-#: (runtime 98.9%) — the floor ratchets up to 95.
+#: (runtime 98.9%) — the floor ratchets up to 95.  PR 8 added
+#: src/repro/obs (98.8% at introduction; aggregate 96.1%).
 #: pytest-cov counts lines slightly differently; the common floor is
 #: conservative for both backends.
 FAIL_UNDER = 95

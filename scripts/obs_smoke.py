@@ -1,0 +1,118 @@
+#!/usr/bin/env python
+"""Observability smoke gate: tracing is lossless, the metric catalog is live.
+
+Runs the tiny committed 8-task spec (``examples/campaign_smoke.json``)
+twice — once plain, once with ``--trace`` — and asserts:
+
+1. the traced run's aggregate digest is byte-identical to the untraced
+   reference (instrumentation must never perturb results);
+2. the ``trace.jsonl`` sidecar is well-formed (schema-validated, zero
+   skipped lines on a clean run) and contains the execution tree: one
+   ``campaign_run`` span, one ``task`` span per task, nested ``phase``
+   spans;
+3. the persisted ``metrics.json`` snapshot is non-empty and its
+   Prometheus rendering covers the catalog the acceptance criteria name
+   (tasks/s, task-duration histogram, cache hits, pool warmth, retries/
+   timeouts, store flush counts).
+
+Usage: ``python scripts/obs_smoke.py`` (from the repository root; run by
+``make obs-smoke`` and ``scripts/check.sh``).  Scratch output goes to
+``.obs-smoke/`` (wiped on entry).
+"""
+
+from __future__ import annotations
+
+import shutil
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro import obs  # noqa: E402
+from repro.runtime import (  # noqa: E402
+    CampaignSpec,
+    CampaignStore,
+    campaign_digest,
+    campaign_records,
+    run_campaign,
+)
+
+SPEC_PATH = REPO_ROOT / "examples" / "campaign_smoke.json"
+SCRATCH = REPO_ROOT / ".obs-smoke"
+
+#: Metric families the acceptance criteria require the snapshot to cover.
+REQUIRED_FAMILIES = (
+    "repro_campaign_tasks_per_second",
+    "repro_task_duration_seconds",
+    "repro_instance_cache_total",
+    "repro_pool_dispatch_total",
+    "repro_tasks_started_total",
+    "repro_tasks_completed_total",
+    "repro_tasks_retried_total",
+    "repro_store_flushes_total",
+    "repro_store_rows_appended_total",
+)
+
+
+def digest_of(spec: CampaignSpec, directory: Path) -> str:
+    return campaign_digest(campaign_records(spec, CampaignStore(directory).rows()))
+
+
+def main() -> int:
+    spec = CampaignSpec.from_json(SPEC_PATH.read_text(encoding="utf-8"))
+    shutil.rmtree(SCRATCH, ignore_errors=True)
+
+    plain = run_campaign(spec, SCRATCH / "plain", workers=0)
+    traced = run_campaign(spec, SCRATCH / "traced", workers=0, trace=True)
+    if plain.failed or traced.failed:
+        print("obs-smoke: FAIL — smoke campaign had failing tasks")
+        return 1
+    reference = digest_of(spec, SCRATCH / "plain")
+    traced_digest = digest_of(spec, SCRATCH / "traced")
+    print(f"plain:  {plain.executed} tasks  digest {reference[:12]}")
+    print(f"traced: {traced.executed} tasks  digest {traced_digest[:12]}")
+    if traced_digest != reference:
+        print("obs-smoke: FAIL — tracing perturbed the aggregate digest")
+        return 1
+
+    sidecar = SCRATCH / "traced" / obs.TRACE_FILENAME
+    valid, skipped = obs.validate_trace(sidecar)
+    records = obs.read_trace(sidecar)
+    spans = [r for r in records if r["type"] == "span"]
+    names = [r["name"] for r in spans]
+    print(f"trace:  {valid} valid record(s), {skipped} skipped, {len(spans)} span(s)")
+    if skipped != 0:
+        print("obs-smoke: FAIL — clean traced run left skipped sidecar lines")
+        return 1
+    if names.count("campaign_run") != 1 or names.count("task") != spec.num_tasks():
+        print(
+            f"obs-smoke: FAIL — expected 1 campaign_run + {spec.num_tasks()} task "
+            f"spans, got {names.count('campaign_run')} + {names.count('task')}"
+        )
+        return 1
+    if "phase" not in names:
+        print("obs-smoke: FAIL — no reduction phase spans in the sidecar")
+        return 1
+
+    snapshot = obs.load_snapshot(SCRATCH / "traced" / obs.METRICS_FILENAME)
+    populated = {m["name"] for m in snapshot["metrics"] if m["samples"]}
+    print(f"metrics: {len(populated)} populated famil(ies) in the snapshot")
+    if not populated:
+        print("obs-smoke: FAIL — metrics snapshot has no samples")
+        return 1
+    missing = [name for name in REQUIRED_FAMILIES if name not in populated]
+    if missing:
+        print(f"obs-smoke: FAIL — snapshot lacks required families: {missing}")
+        return 1
+    text = obs.render_snapshot(snapshot)
+    if "# TYPE repro_task_duration_seconds histogram" not in text:
+        print("obs-smoke: FAIL — Prometheus rendering lost the duration histogram")
+        return 1
+
+    print("obs-smoke: OK (traced ≡ plain, sidecar well-formed, catalog covered)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

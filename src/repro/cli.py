@@ -17,6 +17,9 @@ Usage (after ``pip install -e .``)::
     python -m repro campaign status --out campaign-out
     python -m repro campaign report --out campaign-out
     python -m repro campaign compact --out campaign-out
+    python -m repro campaign run --spec examples/campaign_demo.json --out campaign-out --trace
+    python -m repro campaign metrics campaign-out
+    python -m repro trace summary campaign-out
 
 Every subcommand prints a plain-text table; seeds default to fixed values so
 runs are reproducible.
@@ -242,6 +245,14 @@ def _build_parser() -> argparse.ArgumentParser:
             "'campaign merge')"
         ),
     )
+    campaign_run.add_argument(
+        "--trace",
+        action="store_true",
+        help=(
+            "write a span/event trace sidecar (trace.jsonl) next to the store; "
+            "results and digests are unaffected"
+        ),
+    )
     _add_fault_tolerance_args(campaign_run)
     campaign_run.add_argument(
         "--heartbeat",
@@ -311,6 +322,14 @@ def _build_parser() -> argparse.ArgumentParser:
         metavar="SHA256",
         help="require the merged aggregate digest to equal this serial reference",
     )
+    campaign_supervise.add_argument(
+        "--trace",
+        action="store_true",
+        help=(
+            "write trace sidecars (coordinator events in the merged directory, "
+            "task spans per shard); results and digests are unaffected"
+        ),
+    )
     _add_fault_tolerance_args(campaign_supervise)
     _add_chaos_args(campaign_supervise)
 
@@ -357,6 +376,41 @@ def _build_parser() -> argparse.ArgumentParser:
     campaign_report.add_argument("--out", required=True, help="campaign directory")
     campaign_report.add_argument(
         "--records", default=None, help="also write the aggregate records to this JSON file"
+    )
+
+    campaign_metrics = campaign_sub.add_parser(
+        "metrics",
+        help=(
+            "print the metrics snapshot persisted by the last run of a campaign "
+            "directory (Prometheus text exposition, or --json)"
+        ),
+    )
+    campaign_metrics.add_argument(
+        "out", help="campaign directory (or a metrics.json path directly)"
+    )
+    campaign_metrics.add_argument(
+        "--json",
+        action="store_true",
+        dest="as_json",
+        help="print the raw JSON snapshot instead of Prometheus text",
+    )
+
+    trace_parser = sub.add_parser(
+        "trace", help="inspect trace.jsonl sidecars written by campaign --trace runs"
+    )
+    trace_sub = trace_parser.add_subparsers(dest="trace_command", required=True)
+    trace_summary = trace_sub.add_parser(
+        "summary",
+        help="aggregate a trace sidecar: per-span timings plus the slowest spans",
+    )
+    trace_summary.add_argument(
+        "out", help="campaign directory (or a trace.jsonl path directly)"
+    )
+    trace_summary.add_argument(
+        "--limit",
+        type=int,
+        default=10,
+        help="how many of the slowest individual spans to list",
     )
     return parser
 
@@ -449,11 +503,12 @@ def _parse_shard(text: str):
 def _cmd_campaign(args: argparse.Namespace) -> int:
     from pathlib import Path
 
-    from repro.exceptions import CampaignError
+    from repro.exceptions import CampaignError, ObsError
     from repro.runtime import (
         CampaignSpec,
         cache_counts_of,
         campaign_digest,
+        format_duration,
         merge_shards,
         open_store,
         records_from_summaries,
@@ -483,6 +538,7 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
                 chaos=_fault_plan(args),
                 durability=args.durability,
                 backend=args.store,
+                trace=args.trace,
             )
             store = open_store(args.out)
             # One incremental pass serves both views: the summaries feed
@@ -535,6 +591,7 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
                 restart_failed_shards=args.restart_failed_shards,
                 max_wall_clock_s=args.max_wall_clock,
                 expected_digest=args.expect_digest,
+                trace=args.trace,
             )
             report = coordinator.run()
             print(
@@ -557,7 +614,7 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
                 f"{counts.get('done', 0)}/{spec.num_tasks()} done, "
                 f"{counts.get('failed', 0)} failed, "
                 f"{counts.get('timeout', 0)} timed out; "
-                f"{report.restarts} restart(s) in {report.wall_time_s:.2f}s"
+                f"{report.restarts} restart(s) in {format_duration(report.wall_time_s)}"
             )
             if report.poisoned:
                 print(
@@ -584,6 +641,28 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
             print(f"aggregate digest: {campaign_digest(records)}")
             return 0
 
+        if args.campaign_command == "metrics":
+            import json
+
+            from repro import obs
+
+            path = Path(args.out)
+            if path.is_dir():
+                path = path / obs.METRICS_FILENAME
+            if not path.exists():
+                print(
+                    f"no metrics snapshot at {path} (campaign runs write one "
+                    f"automatically; re-run the campaign to produce it)",
+                    file=sys.stderr,
+                )
+                return 2
+            snapshot = obs.load_snapshot(path)
+            if args.as_json:
+                print(json.dumps(snapshot, indent=2, sort_keys=True))
+            else:
+                print(obs.render_snapshot(snapshot), end="")
+            return 0
+
         store = open_store(args.out)
         spec = store.load_spec()
 
@@ -599,9 +678,13 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
             return 0
 
         if args.campaign_command == "status":
+            import time as _time
+
             # A single incremental read of the store feeds every view
             # below; the old path re-read the whole row log 3-4 times.
+            read_start = _time.perf_counter()
             summaries = store.summaries()
+            read_elapsed = _time.perf_counter() - read_start
             counts = status_counts_of(summaries)
             cache = cache_counts_of(summaries)
             done = counts.get("done", 0)
@@ -638,12 +721,17 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
                     f"skipped on resume: {shown}{suffix}",
                     file=sys.stderr,
                 )
+            print(f"(incremental store read: {format_duration(read_elapsed)})")
             return 0
 
         # report — incremental: only rows appended since the last
         # report/status are summarized (the fuzz harness asserts this
         # path digest-identical to the full-row reference).
+        import time as _time
+
+        report_start = _time.perf_counter()
         records = records_from_summaries(spec, store.summaries())
+        report_elapsed = _time.perf_counter() - report_start
         for record in records:
             print(f"# {record.experiment}: {record.description}")
             if record.rows:
@@ -651,6 +739,7 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
             else:
                 print("(no completed tasks)")
             print()
+        print(f"(report built in {format_duration(report_elapsed)})")
         print(f"aggregate digest: {campaign_digest(records)}")
         if args.records:
             from repro.analysis import write_records
@@ -658,9 +747,86 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
             write_records(records, args.records)
             print(f"records written to {args.records}")
         return 0
-    except CampaignError as exc:
+    except (CampaignError, ObsError) as exc:
         print(f"campaign error: {exc}", file=sys.stderr)
         return 2
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    """``repro trace summary``: aggregate a trace.jsonl sidecar."""
+    from pathlib import Path
+
+    from repro import obs
+    from repro.exceptions import ObsError
+    from repro.runtime import format_duration
+
+    path = Path(args.out)
+    if path.is_dir():
+        path = path / obs.TRACE_FILENAME
+    if not path.exists():
+        print(
+            f"no trace sidecar at {path} (re-run the campaign with --trace)",
+            file=sys.stderr,
+        )
+        return 2
+    try:
+        records = obs.read_trace(path)
+    except ObsError as exc:
+        print(f"trace error: {exc}", file=sys.stderr)
+        return 2
+
+    spans = [r for r in records if r.get("type") == "span"]
+    events = [r for r in records if r.get("type") == "event"]
+    starts = [r for r in records if r.get("type") == "trace_start"]
+    print(
+        f"trace {path}: {len(records)} record(s) from {len(starts)} process "
+        f"start(s) — {len(spans)} span(s), {len(events)} event(s)"
+    )
+    if not spans:
+        return 0
+
+    by_name: dict = {}
+    for span in spans:
+        entry = by_name.setdefault(span["name"], {"count": 0, "total": 0.0, "max": 0.0})
+        entry["count"] += 1
+        entry["total"] += span["dur_s"]
+        entry["max"] = max(entry["max"], span["dur_s"])
+    rows = [
+        {
+            "span": name,
+            "count": entry["count"],
+            "total": format_duration(entry["total"]),
+            "mean": format_duration(entry["total"] / entry["count"]),
+            "max": format_duration(entry["max"]),
+        }
+        for name, entry in sorted(
+            by_name.items(), key=lambda item: (-item[1]["total"], item[0])
+        )
+    ]
+    print()
+    print(format_records(rows))
+
+    if args.limit > 0:
+        slowest = sorted(spans, key=lambda s: (-s["dur_s"], s["span_id"]))[: args.limit]
+        print(f"\nslowest {len(slowest)} span(s):")
+        print(
+            format_records(
+                [
+                    {
+                        "span": span["name"],
+                        "dur": format_duration(span["dur_s"]),
+                        "depth": span["depth"],
+                        "attrs": ", ".join(
+                            f"{key}={value}"
+                            for key, value in sorted(span.get("attrs", {}).items())
+                        )
+                        or "-",
+                    }
+                    for span in slowest
+                ]
+            )
+        )
+    return 0
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -674,6 +840,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "registry": _cmd_registry,
         "bench": _cmd_bench,
         "campaign": _cmd_campaign,
+        "trace": _cmd_trace,
     }
     return handlers[args.command](args)
 

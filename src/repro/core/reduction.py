@@ -43,6 +43,7 @@ import time
 from dataclasses import dataclass, field
 from typing import Callable, Dict, Hashable, List, Optional, Set, Tuple
 
+from repro import obs
 from repro.coloring.conflict_free import happy_edges as single_happy_edges
 from repro.coloring.multicoloring import Multicoloring
 from repro.core.bounds import color_budget, expected_remaining_edges, phase_budget
@@ -58,6 +59,29 @@ from repro.maxis.approximators import MaxISApproximator
 Vertex = Hashable
 PhaseColor = Tuple[int, int]
 Oracle = Callable[[Graph], Set[ConflictVertex]]
+
+# Engine metrics: process-wide totals across every reduction this process
+# runs (campaign workers, bench repeats, direct library use).  Cheap
+# relative to a phase — one observe/inc/set per phase — and purely
+# observational: nothing here feeds back into the reduction.
+_M_PHASES = obs.counter(
+    "repro_reduction_phases_total", "Reduction phases executed by this process."
+)
+_M_PHASE_DURATION = obs.histogram(
+    "repro_phase_duration_seconds",
+    "Wall-clock duration of reduction phases (oracle solve + happy removal).",
+)
+_M_ALIVE_VERTICES = obs.gauge(
+    "repro_reduction_alive_vertices",
+    "Conflict-graph vertices still alive after the most recent phase.",
+)
+_M_HAPPY_CHECKS = obs.counter(
+    "repro_happy_checks_total", "Happy-edge computations performed (one per phase)."
+)
+_M_HAPPY_CHECK_SECONDS = obs.counter(
+    "repro_happy_check_seconds_total",
+    "Wall seconds spent computing per-phase happy-edge sets.",
+)
 
 
 @dataclass
@@ -285,23 +309,28 @@ class ConflictFreeMulticoloringViaMaxIS:
                 raise ReductionError(
                     f"strict mode: phase {phase} exceeds the theoretical budget ρ = {rho}"
                 )
-            if rebuild or conflict_graph is None:
-                conflict_graph = ConflictGraph(current, self.k)
-                if not rebuild:
-                    tracker = HappinessTracker(current)
-            record = self._run_phase(
-                current, conflict_graph, phase, multicoloring, rebuild=rebuild,
-                tracker=tracker,
-            )
-            phases.append(record)
-            if rebuild:
-                current = current.restrict_to_edges(
-                    [e for e in current.edge_ids if e not in record.happy_edges]
+            phase_start = time.perf_counter()
+            with obs.span("phase", phase=phase, edges=current.num_edges()):
+                if rebuild or conflict_graph is None:
+                    conflict_graph = ConflictGraph(current, self.k)
+                    if not rebuild:
+                        tracker = HappinessTracker(current)
+                record = self._run_phase(
+                    current, conflict_graph, phase, multicoloring, rebuild=rebuild,
+                    tracker=tracker,
                 )
-            else:
-                current.remove_edges(record.happy_edges)
-                conflict_graph.remove_hyperedges(record.happy_edges)
-                tracker.remove_edges(record.happy_edges)
+                phases.append(record)
+                if rebuild:
+                    current = current.restrict_to_edges(
+                        [e for e in current.edge_ids if e not in record.happy_edges]
+                    )
+                else:
+                    current.remove_edges(record.happy_edges)
+                    conflict_graph.remove_hyperedges(record.happy_edges)
+                    tracker.remove_edges(record.happy_edges)
+            _M_PHASES.inc()
+            _M_PHASE_DURATION.observe(time.perf_counter() - phase_start)
+            _M_ALIVE_VERTICES.set(conflict_graph.num_vertices())
 
         # Edgeless input: no phase runs and the empty multicoloring is
         # vacuously conflict-free (remaining_edges_series() is then empty).
@@ -353,7 +382,10 @@ class ConflictFreeMulticoloringViaMaxIS:
             happy = single_happy_edges(current, phase_coloring)
         else:
             happy = tracker.commit(phase_coloring)
-        self.last_happy_check_wall_time_s += time.perf_counter() - happy_start
+        happy_elapsed = time.perf_counter() - happy_start
+        self.last_happy_check_wall_time_s += happy_elapsed
+        _M_HAPPY_CHECKS.inc()
+        _M_HAPPY_CHECK_SECONDS.inc(happy_elapsed)
         if independent_set and len(happy) < len(independent_set):
             raise ReductionError(
                 f"phase {phase}: only {len(happy)} happy edges for an independent "

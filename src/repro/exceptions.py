@@ -72,6 +72,16 @@ class FaultInjectionError(ReproError):
     """
 
 
+class ObsError(ReproError):
+    """Raised by the observability layer (:mod:`repro.obs`).
+
+    Covers metric misuse (negative counter increments, conflicting
+    re-registration, label-cardinality blowups) and malformed trace
+    sidecars.  Instrumented hot paths never raise it on the happy path —
+    observability must not be able to take a campaign down.
+    """
+
+
 class SupervisionError(CampaignError):
     """Raised by the shard coordinator for unrecoverable supervision states.
 

@@ -1,0 +1,358 @@
+"""Span/event tracing: an append-only JSONL sidecar next to the campaign store.
+
+The tracer is process-global with a no-op default, so instrumented hot
+paths pay one attribute lookup and one method call when tracing is off —
+``span("phase", k=3)`` on the :data:`NULL_TRACER` allocates nothing and
+writes nothing.  ``repro campaign run --trace`` swaps in a
+:class:`JsonlTracer` writing ``trace.jsonl`` into the campaign
+directory; ``repro trace summary <dir>`` renders it.
+
+Spans nest through a thread-local stack: a reduction phase span records
+the enclosing task span as its parent, a task span records the campaign
+run span, so the sidecar reconstructs the full execution tree without
+any global coordination.  Event records are flat point-in-time marks
+(shard dispatches, stale kills).
+
+Kill tolerance mirrors the row store's discipline exactly: every record
+is one JSON line, written and flushed atomically under a lock, so a
+killed worker loses at most one truncated line.  On (re-)open the
+writer terminates any truncated tail line first — appending after a
+crash can therefore leave a malformed line *mid-file*, which is why
+:func:`read_trace` skips unparseable lines the same way
+``CampaignStore.rows`` does.  The trace is observational only: nothing
+in the result path reads it, and the differential harnesses assert
+digests are byte-identical with tracing on and off.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import itertools
+import json
+import os
+import threading
+import time
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.exceptions import ObsError
+
+#: Trace sidecar filename inside a campaign directory.
+TRACE_FILENAME = "trace.jsonl"
+
+#: Format version stamped into every ``trace_start`` header.
+TRACE_VERSION = 1
+
+#: Record types a well-formed sidecar may contain.
+RECORD_TYPES = ("trace_start", "span", "event")
+
+
+class _NullSpan:
+    """The span handed out when tracing is off: every operation is a no-op."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        pass
+
+    def set(self, **attrs: Any) -> None:
+        """Attach attributes — dropped, tracing is off."""
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class NullTracer:
+    """The default tracer: records nothing, costs ~nothing."""
+
+    enabled = False
+
+    def span(self, name: str, **attrs: Any) -> _NullSpan:
+        return _NULL_SPAN
+
+    def event(self, name: str, **attrs: Any) -> None:
+        pass
+
+    def close(self) -> None:
+        pass
+
+
+NULL_TRACER = NullTracer()
+
+
+class _Span:
+    """A live span: context manager recording start/stop/duration on exit."""
+
+    __slots__ = ("_tracer", "name", "attrs", "span_id", "parent_id", "depth", "_start")
+
+    def __init__(self, tracer: "JsonlTracer", name: str, attrs: Dict[str, Any]) -> None:
+        self._tracer = tracer
+        self.name = name
+        self.attrs = attrs
+        self.span_id = -1
+        self.parent_id: Optional[int] = None
+        self.depth = 0
+        self._start = 0.0
+
+    def set(self, **attrs: Any) -> None:
+        """Attach attributes recorded when the span closes (e.g. a status)."""
+        self.attrs.update(attrs)
+
+    def __enter__(self) -> "_Span":
+        self._tracer._enter_span(self)
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        if exc_type is not None and "error_type" not in self.attrs:
+            self.attrs["error_type"] = exc_type.__name__
+        self._tracer._exit_span(self)
+
+
+class JsonlTracer:
+    """Writes one JSON line per span/event to an append-only sidecar file.
+
+    Safe for concurrent use from multiple threads (one lock around each
+    write; per-thread span stacks), but process-local on purpose: pool
+    workers and shard subprocesses each install their own tracer over
+    their own sidecar, and the supervisor's sidecars live in the shard
+    directories — there is never a multi-process writer on one file.
+    """
+
+    enabled = True
+
+    def __init__(self, path) -> None:
+        self.path = Path(path)
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._lock = threading.Lock()
+        self._local = threading.local()
+        self._ids = itertools.count()
+        self._origin = time.perf_counter()
+        # Terminate a truncated tail line first (a killed predecessor),
+        # so this tracer's records are never glued onto the fragment.
+        needs_newline = False
+        try:
+            if self.path.stat().st_size > 0:
+                with open(self.path, "rb") as handle:
+                    handle.seek(-1, 2)
+                    needs_newline = handle.read(1) != b"\n"
+        except OSError:
+            pass
+        self._handle = open(self.path, "a", encoding="utf-8")
+        if needs_newline:
+            self._handle.write("\n")
+        self._write(
+            {
+                "type": "trace_start",
+                "version": TRACE_VERSION,
+                "pid": os.getpid(),
+                "unix_time": time.time(),
+            }
+        )
+
+    def _write(self, record: Dict[str, Any]) -> None:
+        line = json.dumps(record, sort_keys=True, default=str)
+        with self._lock:
+            if self._handle is None:
+                return
+            self._handle.write(line + "\n")
+            self._handle.flush()
+
+    def _stack(self) -> List[_Span]:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = self._local.stack = []
+        return stack
+
+    def _now(self) -> float:
+        return time.perf_counter() - self._origin
+
+    def span(self, name: str, **attrs: Any) -> _Span:
+        return _Span(self, name, attrs)
+
+    def _enter_span(self, span: _Span) -> None:
+        stack = self._stack()
+        span.span_id = next(self._ids)
+        span.parent_id = stack[-1].span_id if stack else None
+        span.depth = len(stack)
+        span._start = self._now()
+        stack.append(span)
+
+    def _exit_span(self, span: _Span) -> None:
+        stack = self._stack()
+        if stack and stack[-1] is span:
+            stack.pop()
+        end = self._now()
+        record: Dict[str, Any] = {
+            "type": "span",
+            "name": span.name,
+            "span_id": span.span_id,
+            "parent_id": span.parent_id,
+            "depth": span.depth,
+            "t_start_s": span._start,
+            "dur_s": end - span._start,
+        }
+        if span.attrs:
+            record["attrs"] = span.attrs
+        self._write(record)
+
+    def event(self, name: str, **attrs: Any) -> None:
+        """Record a point-in-time mark (no duration)."""
+        stack = self._stack()
+        record: Dict[str, Any] = {
+            "type": "event",
+            "name": name,
+            "t_s": self._now(),
+            "parent_id": stack[-1].span_id if stack else None,
+        }
+        if attrs:
+            record["attrs"] = attrs
+        self._write(record)
+
+    def close(self) -> None:
+        with self._lock:
+            if self._handle is not None:
+                self._handle.close()
+                self._handle = None
+
+
+# ----------------------------------------------------------------------
+# process-global tracer
+# ----------------------------------------------------------------------
+_TRACER: Any = NULL_TRACER
+_TRACER_LOCK = threading.Lock()
+
+
+def get_tracer():
+    """The currently installed tracer (the no-op :data:`NULL_TRACER` by default)."""
+    return _TRACER
+
+
+def set_tracer(tracer) -> Any:
+    """Install ``tracer`` globally; returns the previous tracer."""
+    global _TRACER
+    with _TRACER_LOCK:
+        previous = _TRACER
+        _TRACER = tracer if tracer is not None else NULL_TRACER
+        return previous
+
+
+def span(name: str, **attrs: Any):
+    """Open a span on the global tracer (a no-op context when tracing is off)."""
+    return _TRACER.span(name, **attrs)
+
+
+def event(name: str, **attrs: Any) -> None:
+    """Record an event on the global tracer (dropped when tracing is off)."""
+    _TRACER.event(name, **attrs)
+
+
+def tracing_enabled() -> bool:
+    """Whether a real tracer is currently installed."""
+    return bool(getattr(_TRACER, "enabled", False))
+
+
+@contextlib.contextmanager
+def tracing(path):
+    """Install a :class:`JsonlTracer` on ``path`` for the duration of the block.
+
+    The previous tracer is restored (and the sidecar handle closed) on
+    exit, so nested campaigns and tests cannot leak a tracer across
+    their scope.
+    """
+    tracer = JsonlTracer(path)
+    previous = set_tracer(tracer)
+    try:
+        yield tracer
+    finally:
+        set_tracer(previous)
+        tracer.close()
+
+
+# ----------------------------------------------------------------------
+# reading the sidecar back
+# ----------------------------------------------------------------------
+def read_trace(path) -> List[Dict[str, Any]]:
+    """Parse a trace sidecar, skipping malformed lines (kill truncation).
+
+    Mirrors ``CampaignStore.rows``: every line that parses to a dict
+    with a known ``type`` is returned in file order; blank lines and the
+    fragments a kill left behind are skipped.
+    """
+    path = Path(path)
+    if not path.exists():
+        return []
+    records: List[Dict[str, Any]] = []
+    with open(path, "r", encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except ValueError:
+                continue
+            if isinstance(record, dict) and record.get("type") in RECORD_TYPES:
+                records.append(record)
+    return records
+
+
+_REQUIRED_KEYS = {
+    "trace_start": ("version", "pid", "unix_time"),
+    "span": ("name", "span_id", "parent_id", "depth", "t_start_s", "dur_s"),
+    "event": ("name", "t_s"),
+}
+
+
+def validate_trace(path) -> Tuple[int, int]:
+    """Structurally validate a sidecar; returns ``(valid, skipped)`` line counts.
+
+    Every parseable line must be schema-valid — a known type carrying
+    its required keys, a supported version on headers, non-negative span
+    durations — or :class:`ObsError` is raised.  Unparseable lines are
+    only *counted* (``skipped``): they are the expected remains of
+    killed writers, exactly like the row store's truncated tails.  A
+    sidecar with no ``trace_start`` header at all is rejected.
+    """
+    path = Path(path)
+    if not path.exists():
+        raise ObsError(f"trace sidecar {path} does not exist")
+    valid = skipped = headers = 0
+    with open(path, "r", encoding="utf-8") as handle:
+        for number, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except ValueError:
+                skipped += 1
+                continue
+            if not isinstance(record, dict) or record.get("type") not in RECORD_TYPES:
+                raise ObsError(
+                    f"{path}:{number}: not a trace record: {str(record)[:80]!r}"
+                )
+            kind = record["type"]
+            missing = [key for key in _REQUIRED_KEYS[kind] if key not in record]
+            if missing:
+                raise ObsError(
+                    f"{path}:{number}: {kind} record is missing {missing!r}"
+                )
+            if kind == "trace_start":
+                headers += 1
+                if record["version"] != TRACE_VERSION:
+                    raise ObsError(
+                        f"{path}:{number}: unsupported trace version "
+                        f"{record['version']!r} (expected {TRACE_VERSION})"
+                    )
+            if kind == "span" and record["dur_s"] < 0:
+                raise ObsError(
+                    f"{path}:{number}: span {record['name']!r} has negative "
+                    f"duration {record['dur_s']!r}"
+                )
+            valid += 1
+    if headers == 0:
+        raise ObsError(f"trace sidecar {path} has no trace_start header")
+    return valid, skipped

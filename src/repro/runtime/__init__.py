@@ -70,7 +70,7 @@ from repro.runtime.store import (
     retry_exhausted_of,
     status_counts_of,
 )
-from repro.runtime.summary import records_from_summaries, summarize_row
+from repro.runtime.summary import format_duration, records_from_summaries, summarize_row
 from repro.runtime.supervise import (
     InlineExecutor,
     LocalProcessExecutor,
@@ -114,6 +114,7 @@ __all__ = [
     "cache_counts_of",
     "retry_exhausted_of",
     "summarize_row",
+    "format_duration",
     "records_from_summaries",
     "summaries_of",
     "CampaignRunStats",

@@ -31,17 +31,72 @@ one, provably identical to a monolithic run.
 
 from __future__ import annotations
 
+import contextlib
 import os
 import time
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Callable, Dict, Iterable, Optional, Tuple
 
+from repro import obs
 from repro.exceptions import CampaignError
 from repro.runtime.faults import FaultPlan, require_chaos
 from repro.runtime.spec import CampaignSpec, check_shard, task_shard_index
 from repro.runtime.store import RETRYABLE_STATUSES, open_store
 from repro.runtime.tasks import execute_task
+
+# ----------------------------------------------------------------------
+# scheduler metrics (see docs/observability.md for the full catalog)
+# ----------------------------------------------------------------------
+# CampaignRunStats is a *projection* of these: run_campaign captures the
+# relevant counter values at run start and reports the deltas, so the
+# registry is the single source of truth and a live scraper (ROADMAP
+# item 1) sees the same numbers the stats object reports.
+_M_TASKS_STARTED = obs.counter(
+    "repro_tasks_started_total",
+    "Task executions dispatched by run_campaign (first passes and retries).",
+    labels=("campaign",),
+)
+_M_TASKS_COMPLETED = obs.counter(
+    "repro_tasks_completed_total",
+    "Result rows recorded, by row status (done/failed/timeout).",
+    labels=("campaign", "status"),
+)
+_M_TASKS_RETRIED = obs.counter(
+    "repro_tasks_retried_total",
+    "Extra executions performed by in-run retry rounds.",
+    labels=("campaign",),
+)
+_M_TASKS_EXHAUSTED = obs.counter(
+    "repro_tasks_exhausted_total",
+    "Pending tasks skipped because their retry budget was already spent.",
+    labels=("campaign",),
+)
+_M_TASK_DURATION = obs.histogram(
+    "repro_task_duration_seconds",
+    "Wall-clock duration of recorded task executions.",
+    labels=("campaign",),
+)
+_M_QUEUE_DEPTH = obs.gauge(
+    "repro_queue_depth",
+    "Pending tasks of the running campaign not yet recorded (0 when idle).",
+    labels=("campaign",),
+)
+_M_POOL_DISPATCH = obs.counter(
+    "repro_pool_dispatch_total",
+    "run_campaign dispatches by executor mode (serial/percall/pool-cold/pool-warm).",
+    labels=("campaign", "mode"),
+)
+_M_INSTANCE_CACHE = obs.counter(
+    "repro_instance_cache_total",
+    "Instance-cache lookups across recorded rows, by outcome (hit/miss).",
+    labels=("campaign", "outcome"),
+)
+_M_TASKS_PER_S = obs.gauge(
+    "repro_campaign_tasks_per_second",
+    "Executed-task throughput of the most recent run of each campaign.",
+    labels=("campaign",),
+)
 
 
 @dataclass(frozen=True)
@@ -230,6 +285,7 @@ def run_campaign(
     chaos: Optional[FaultPlan] = None,
     durability: Optional[str] = None,
     backend: Optional[str] = None,
+    trace: bool = False,
 ) -> CampaignRunStats:
     """Execute every pending task of ``spec``, appending results to ``directory``.
 
@@ -283,6 +339,19 @@ def run_campaign(
         :func:`~repro.runtime.store.open_store`.  The backend never
         changes which rows exist, only how they are stored, so the
         campaign digest is backend-independent.
+    trace:
+        When True, install a :class:`~repro.obs.JsonlTracer` writing a
+        ``trace.jsonl`` sidecar into the campaign directory for the
+        duration of the run, so the task/phase spans of the serial
+        executor (pool workers keep their own process-local no-op
+        tracer) and the per-row events are recorded.  Purely
+        observational: the result rows and the aggregate digest are
+        byte-identical with tracing on and off.
+
+    Every run also persists a :mod:`repro.obs` registry snapshot as
+    ``metrics.json`` next to the store (rendered by ``repro campaign
+    metrics``), and the returned stats are a projection of the same
+    registry counters.
 
     Tasks whose key already has a ``"done"`` row are skipped — resuming an
     interrupted campaign finishes the remainder and converges to the same
@@ -377,7 +446,24 @@ def run_campaign(
 
     effective_workers = pool.workers if pool is not None else max(1, workers)
     pool_warm = pool is not None and pool.started
-    cache_hits = cache_misses = retried = 0
+
+    # Registry-delta projection: resolve this campaign's metric children
+    # once and capture their values, so the returned stats report exactly
+    # what *this* run contributed while the registry keeps the live,
+    # scrape-able totals (pool workers count in the parent, from rows).
+    campaign = spec.name
+    started_counter = _M_TASKS_STARTED.labels(campaign)
+    retried_counter = _M_TASKS_RETRIED.labels(campaign)
+    hit_counter = _M_INSTANCE_CACHE.labels(campaign, "hit")
+    miss_counter = _M_INSTANCE_CACHE.labels(campaign, "miss")
+    duration_histogram = _M_TASK_DURATION.labels(campaign)
+    queue_gauge = _M_QUEUE_DEPTH.labels(campaign)
+    base_retried = retried_counter.value
+    base_hits = hit_counter.value
+    base_misses = miss_counter.value
+    if exhausted:
+        _M_TASKS_EXHAUSTED.labels(campaign).inc(exhausted)
+
     final_rows: Dict[str, dict] = {}
     executions: Dict[str, int] = {}
 
@@ -385,7 +471,6 @@ def run_campaign(
         touch_heartbeat(heartbeat)
 
     def record(row: dict) -> None:
-        nonlocal cache_hits, cache_misses
         key = row["task_key"]
         if row["status"] in RETRYABLE_STATUSES:
             signature = _error_signature(row)
@@ -395,87 +480,130 @@ def run_campaign(
                 row["attempt"] = 1
             last_signature[key] = signature
         store.append(row)
+        if key not in final_rows:
+            queue_gauge.dec()
         final_rows[key] = row
         executions[key] = executions.get(key, 0) + 1
+        _M_TASKS_COMPLETED.labels(campaign, row["status"]).inc()
+        if "wall_time_s" in row:
+            duration_histogram.observe(row["wall_time_s"])
         if "instance_cache_hit" in row:
-            if row["instance_cache_hit"]:
-                cache_hits += 1
-            else:
-                cache_misses += 1
+            (hit_counter if row["instance_cache_hit"] else miss_counter).inc()
+        obs.event(
+            "row",
+            task_key=key,
+            status=row["status"],
+            attempt=row.get("attempt", 1),
+            wall_time_s=row.get("wall_time_s"),
+        )
         if heartbeat is not None:
             touch_heartbeat(heartbeat)
         if on_row is not None:
             on_row(row)
 
     start = time.perf_counter()
-    # Short-circuit before any pool is spawned (or a persistent pool is
-    # started) when a resume finds nothing left to do.
-    if pending:
-        first_pass = [decorate(p, start_attempts[p["task_key"]]) for p in pending]
-        if pool is not None:
-            chunk = chunk_size if chunk_size is not None else _default_chunk_size(
-                len(pending), pool.workers
+    with contextlib.ExitStack() as scope:
+        if trace:
+            scope.enter_context(
+                obs.tracing(Path(directory) / obs.TRACE_FILENAME)
             )
-            for row in pool.imap_unordered(execute_task, first_pass, chunksize=chunk):
-                record(row)
-        elif workers > 1:
-            import multiprocessing
-
-            chunk = chunk_size if chunk_size is not None else _default_chunk_size(
-                len(pending), workers
+        run_span = scope.enter_context(
+            obs.span(
+                "campaign_run",
+                campaign=campaign,
+                pending=len(pending),
+                workers=effective_workers,
             )
-            with multiprocessing.Pool(processes=workers) as mp_pool:
-                for row in mp_pool.imap_unordered(
+        )
+        queue_gauge.set(len(pending))
+        # Short-circuit before any pool is spawned (or a persistent pool
+        # is started) when a resume finds nothing left to do.
+        if pending:
+            if pool is not None:
+                mode = "pool-warm" if pool_warm else "pool-cold"
+            elif workers > 1:
+                mode = "percall"
+            else:
+                mode = "serial"
+            _M_POOL_DISPATCH.labels(campaign, mode).inc()
+            first_pass = [decorate(p, start_attempts[p["task_key"]]) for p in pending]
+            started_counter.inc(len(first_pass))
+            if pool is not None:
+                chunk = chunk_size if chunk_size is not None else _default_chunk_size(
+                    len(pending), pool.workers
+                )
+                for row in pool.imap_unordered(
                     execute_task, first_pass, chunksize=chunk
                 ):
                     record(row)
-        else:
-            for payload in first_pass:
-                record(execute_task(payload))
+            elif workers > 1:
+                import multiprocessing
 
-        # In-run retry rounds (in the parent, serially: failures are the
-        # exception, not the workload).  Each round re-executes the rows
-        # still failing with budget left, after the policy's
-        # exponential-backoff pause.  ``executions`` bounds the total
-        # work per task this call even when error signatures alternate
-        # and keep resetting the persistent attempt counter.
-        by_key = {p["task_key"]: p for p in pending}
-        round_number = 0
-        while retry is not None:
-            round_number += 1
-            candidates = [
-                key
-                for key in by_key
-                if key in final_rows
-                and final_rows[key]["status"] in RETRYABLE_STATUSES
-                and final_rows[key].get("attempt", 1) < retry.max_attempts
-                and executions[key] < retry.max_attempts
-            ]
-            if not candidates:
-                break
-            delay = retry.round_delay_s(round_number)
-            if delay > 0:
-                time.sleep(delay)
-            for key in candidates:
-                attempt = final_rows[key].get("attempt", 1) + 1
-                record(execute_task(decorate(by_key[key], attempt)))
-                retried += 1
+                chunk = chunk_size if chunk_size is not None else _default_chunk_size(
+                    len(pending), workers
+                )
+                with multiprocessing.Pool(processes=workers) as mp_pool:
+                    for row in mp_pool.imap_unordered(
+                        execute_task, first_pass, chunksize=chunk
+                    ):
+                        record(row)
+            else:
+                for payload in first_pass:
+                    record(execute_task(payload))
 
-    failed = sum(row["status"] != "done" for row in final_rows.values())
-    timeouts = sum(row["status"] == "timeout" for row in final_rows.values())
-    return CampaignRunStats(
-        campaign=spec.name,
-        total_tasks=total,
-        skipped=len(payloads) - len(pending) - exhausted,
-        executed=len(pending),
-        failed=failed,
-        workers=effective_workers,
-        wall_time_s=time.perf_counter() - start,
-        shard=shard,
-        pool_warm=pool_warm,
-        cache_hits=cache_hits,
-        cache_misses=cache_misses,
-        timeouts=timeouts,
-        retried=retried,
-        exhausted=exhausted,
-    )
+            # In-run retry rounds (in the parent, serially: failures are the
+            # exception, not the workload).  Each round re-executes the rows
+            # still failing with budget left, after the policy's
+            # exponential-backoff pause.  ``executions`` bounds the total
+            # work per task this call even when error signatures alternate
+            # and keep resetting the persistent attempt counter.
+            by_key = {p["task_key"]: p for p in pending}
+            round_number = 0
+            while retry is not None:
+                round_number += 1
+                candidates = [
+                    key
+                    for key in by_key
+                    if key in final_rows
+                    and final_rows[key]["status"] in RETRYABLE_STATUSES
+                    and final_rows[key].get("attempt", 1) < retry.max_attempts
+                    and executions[key] < retry.max_attempts
+                ]
+                if not candidates:
+                    break
+                delay = retry.round_delay_s(round_number)
+                if delay > 0:
+                    time.sleep(delay)
+                for key in candidates:
+                    attempt = final_rows[key].get("attempt", 1) + 1
+                    started_counter.inc()
+                    record(execute_task(decorate(by_key[key], attempt)))
+                    retried_counter.inc()
+        queue_gauge.set(0)
+
+        failed = sum(row["status"] != "done" for row in final_rows.values())
+        timeouts = sum(row["status"] == "timeout" for row in final_rows.values())
+        stats = CampaignRunStats(
+            campaign=campaign,
+            total_tasks=total,
+            skipped=len(payloads) - len(pending) - exhausted,
+            executed=len(pending),
+            failed=failed,
+            workers=effective_workers,
+            wall_time_s=time.perf_counter() - start,
+            shard=shard,
+            pool_warm=pool_warm,
+            cache_hits=int(hit_counter.value - base_hits),
+            cache_misses=int(miss_counter.value - base_misses),
+            timeouts=timeouts,
+            retried=int(retried_counter.value - base_retried),
+            exhausted=exhausted,
+        )
+        _M_TASKS_PER_S.labels(campaign).set(stats.tasks_per_s)
+        run_span.set(executed=stats.executed, failed=stats.failed)
+    # Persist the registry next to the store so `repro campaign metrics`
+    # works on finished runs; best-effort (a read-only directory still
+    # gets its results served).
+    with contextlib.suppress(OSError):
+        obs.get_registry().write_snapshot(Path(directory) / obs.METRICS_FILENAME)
+    return stats

@@ -57,9 +57,41 @@ from dataclasses import dataclass
 from pathlib import Path
 from typing import Any, Dict, Iterable, List, Mapping, Optional, Set, Tuple
 
+from repro import obs
 from repro.exceptions import CampaignError
 from repro.runtime.spec import DURABILITY_LEVELS, STORE_BACKENDS, CampaignSpec
 from repro.runtime.summary import SUMMARY_VERSION, summarize_row
+
+# Store metrics, labeled by backend.  "Flush" counts write barriers: one
+# per JSONL write call, one per SQLite commit; fsyncs count only under
+# durability="fsync" (JSONL os.fsync calls / SQLite synchronous=FULL
+# commits).  Compaction counters mirror CompactionStats so a scraper
+# sees reclamation without parsing CLI output.
+_M_ROWS_APPENDED = obs.counter(
+    "repro_store_rows_appended_total",
+    "Result rows appended to campaign stores.",
+    labels=("backend",),
+)
+_M_FLUSHES = obs.counter(
+    "repro_store_flushes_total",
+    "Write barriers issued (JSONL flushed writes / SQLite commits).",
+    labels=("backend",),
+)
+_M_FSYNCS = obs.counter(
+    "repro_store_fsyncs_total",
+    "Durable syncs issued under durability=fsync.",
+    labels=("backend",),
+)
+_M_COMPACTIONS = obs.counter(
+    "repro_store_compactions_total",
+    "Store compactions performed.",
+    labels=("backend",),
+)
+_M_COMPACTION_ROWS_DROPPED = obs.counter(
+    "repro_store_compaction_rows_dropped_total",
+    "Superseded/duplicate rows dropped by compactions.",
+    labels=("backend",),
+)
 
 SPEC_FILENAME = "spec.json"
 RESULTS_FILENAME = "results.jsonl"
@@ -346,7 +378,10 @@ class CampaignStore(BaseCampaignStore):
             handle.flush()
             if self.durability == "fsync":
                 os.fsync(handle.fileno())
+                _M_FSYNCS.labels(self.backend).inc()
             self._known_size = handle.tell()
+        _M_ROWS_APPENDED.labels(self.backend).inc(len(lines))
+        _M_FLUSHES.labels(self.backend).inc()
 
     def append(self, row: Dict[str, Any]) -> None:
         """Append one result row, flushed so a kill loses at most this line.
@@ -512,6 +547,8 @@ class CampaignStore(BaseCampaignStore):
         self._store_aggregate_state(
             bytes_after, {row["task_key"]: summarize_row(row) for row in kept}
         )
+        _M_COMPACTIONS.labels(self.backend).inc()
+        _M_COMPACTION_ROWS_DROPPED.labels(self.backend).inc(len(rows) - len(kept))
         return CompactionStats(len(rows), len(kept), bytes_before, bytes_after)
 
 
@@ -593,12 +630,21 @@ class SQLiteCampaignStore(BaseCampaignStore):
         " VALUES (?, ?, ?, ?, ?)"
     )
 
+    def _count_commit(self, rows_appended: int) -> None:
+        """One transaction landed: count its rows, the commit, and the sync."""
+        _M_ROWS_APPENDED.labels(self.backend).inc(rows_appended)
+        _M_FLUSHES.labels(self.backend).inc()
+        if self.durability == "fsync":
+            # synchronous=FULL makes every commit a durable sync.
+            _M_FSYNCS.labels(self.backend).inc()
+
     def append(self, row: Dict[str, Any]) -> None:
         """Insert one row in its own transaction (commit = the kill boundary)."""
         self._check_row(row)
         conn = self._connect()
         with conn:
             conn.execute(self._INSERT, self._row_params(row))
+        self._count_commit(1)
 
     def append_many(self, rows: Iterable[Dict[str, Any]]) -> None:
         """Insert a batch of rows in one transaction: one commit, one sync."""
@@ -610,6 +656,7 @@ class SQLiteCampaignStore(BaseCampaignStore):
         conn = self._connect()
         with conn:
             conn.executemany(self._INSERT, [self._row_params(row) for row in rows])
+        self._count_commit(len(rows))
 
     def rows(self) -> List[Dict[str, Any]]:
         """Every stored row in insertion order (the JSONL file-order analogue)."""
@@ -778,6 +825,8 @@ class SQLiteCampaignStore(BaseCampaignStore):
             (rows_after,) = conn.execute("SELECT COUNT(*) FROM results").fetchone()
         conn.execute("VACUUM")
         bytes_after = os.path.getsize(self.results_path)
+        _M_COMPACTIONS.labels(self.backend).inc()
+        _M_COMPACTION_ROWS_DROPPED.labels(self.backend).inc(rows_before - rows_after)
         return CompactionStats(rows_before, rows_after, bytes_before, bytes_after)
 
 

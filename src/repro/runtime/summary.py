@@ -39,6 +39,34 @@ from repro.runtime.spec import CampaignSpec
 SUMMARY_VERSION = 1
 
 
+def format_duration(seconds: float) -> str:
+    """Render a duration humanized: ``417µs``, ``62ms``, ``3.1s``, ``2m03s``, ``1h04m``.
+
+    The shared timing formatter of ``repro campaign status`` / ``report``
+    and ``repro trace summary`` — raw ``%.2f`` seconds read terribly for
+    both microsecond phases and hour-long supervised runs.  Values keep
+    three significant digits below a minute and switch to mixed units
+    above.
+    """
+    if seconds != seconds:  # NaN
+        return "nan"
+    if seconds < 0:
+        return "-" + format_duration(-seconds)
+    if seconds == 0:
+        return "0s"
+    if seconds < 1e-3:
+        return f"{seconds * 1e6:.3g}µs"
+    if seconds < 1:
+        return f"{seconds * 1e3:.3g}ms"
+    if seconds < 60:
+        return f"{seconds:.3g}s"
+    if seconds < 3600:
+        minutes, rest = divmod(seconds, 60)
+        return f"{int(minutes)}m{int(rest):02d}s"
+    hours, rest = divmod(seconds, 3600)
+    return f"{int(hours)}h{int(rest // 60):02d}m"
+
+
 def total_colors_of(result: Dict[str, Any]) -> int:
     """Distinct colors of a serialized reduction result (without reconstructing it)."""
     colors = set()

@@ -36,6 +36,7 @@ ROADMAP item 2 for what those still need.
 
 from __future__ import annotations
 
+import contextlib
 import os
 import random
 import subprocess
@@ -46,12 +47,43 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Dict, List, Optional
 
+from repro import obs
 from repro.exceptions import CampaignError, SupervisionError
 from repro.runtime.aggregate import campaign_digest, campaign_records
 from repro.runtime.faults import FaultPlan, require_chaos
 from repro.runtime.scheduler import DEFAULT_RETRY_POLICY, RetryPolicy, run_campaign
 from repro.runtime.spec import CampaignSpec, check_shard
 from repro.runtime.store import merge_shards, open_store
+
+# Coordinator metrics: the supervision loop's live view (dispatch churn,
+# restart pressure, shard liveness).  The heartbeat-age gauge is updated
+# on every poll of a running shard, so a scraper watches staleness
+# approach the timeout in real time.
+_M_SHARD_DISPATCHES = obs.counter(
+    "repro_shard_dispatches_total",
+    "Shard worker launches (first dispatches and restarts).",
+    labels=("campaign",),
+)
+_M_SHARD_RESTARTS = obs.counter(
+    "repro_shard_restarts_total",
+    "Crash-triggered shard re-dispatches scheduled.",
+    labels=("campaign",),
+)
+_M_SHARD_STALE_KILLS = obs.counter(
+    "repro_shard_stale_kills_total",
+    "Shard workers killed by the coordinator for a stale heartbeat.",
+    labels=("campaign",),
+)
+_M_SHARD_QUARANTINED = obs.counter(
+    "repro_shard_quarantined_total",
+    "Shards quarantined as poisoned after exhausting their restart budget.",
+    labels=("campaign",),
+)
+_M_HEARTBEAT_AGE = obs.gauge(
+    "repro_shard_heartbeat_age_seconds",
+    "Seconds since each running shard last showed life (beat or dispatch).",
+    labels=("campaign", "shard"),
+)
 
 #: Heartbeat filename inside each shard directory.
 HEARTBEAT_FILENAME = "heartbeat"
@@ -81,6 +113,9 @@ class ShardLaunch:
     retry: Optional[RetryPolicy] = DEFAULT_RETRY_POLICY
     durability: Optional[str] = None
     chaos: Optional[FaultPlan] = None
+    #: Ask the worker to write a ``trace.jsonl`` sidecar into its shard
+    #: directory (``--trace`` on the subprocess command line).
+    trace: bool = False
 
 
 class ShardHandle(ABC):
@@ -185,6 +220,8 @@ class LocalProcessExecutor(ShardExecutor):
             argv += ["--max-retries", "0"]
         if launch.durability is not None:
             argv += ["--durability", launch.durability]
+        if launch.trace:
+            argv += ["--trace"]
         if launch.chaos is not None:
             argv += launch.chaos.cli_args()
         return argv
@@ -246,6 +283,7 @@ class InlineExecutor(ShardExecutor):
                 heartbeat=launch.heartbeat_path,
                 chaos=launch.chaos,
                 durability=launch.durability,
+                trace=launch.trace,
             )
         except CampaignError:
             return _InlineHandle(2)
@@ -341,6 +379,12 @@ class ShardCoordinator:
     expected_digest:
         When set, a fully landed run whose merged digest differs raises
         :class:`SupervisionError` — the serial-reference equality check.
+    trace:
+        Write trace sidecars: the coordinator's own dispatch/kill events
+        land in ``out_dir/trace.jsonl`` and every shard worker writes
+        ``trace.jsonl`` into its shard directory (``--trace`` is added
+        to the worker command line).  Observational only — the merged
+        digest is unchanged, which the chaos-with-tracing tests assert.
     """
 
     def __init__(
@@ -363,6 +407,7 @@ class ShardCoordinator:
         restart_failed_shards: bool = False,
         max_wall_clock_s: Optional[float] = None,
         expected_digest: Optional[str] = None,
+        trace: bool = False,
     ) -> None:
         check_shard(0, n_shards)
         if heartbeat_timeout_s <= 0:
@@ -405,6 +450,7 @@ class ShardCoordinator:
         self.restart_failed_shards = restart_failed_shards
         self.max_wall_clock_s = max_wall_clock_s
         self.expected_digest = expected_digest
+        self.trace = trace
         self._rng = random.Random(rng_seed)
 
     # ------------------------------------------------------------------
@@ -425,6 +471,7 @@ class ShardCoordinator:
             retry=self.retry,
             durability=self.durability,
             chaos=chaos,
+            trace=self.trace,
         )
 
     def _backoff_delay(self, restart_number: int) -> float:
@@ -461,6 +508,11 @@ class ShardCoordinator:
         )
         out_store.initialize(self.spec)
 
+        campaign = self.spec.name
+        dispatch_counter = _M_SHARD_DISPATCHES.labels(campaign)
+        restart_counter = _M_SHARD_RESTARTS.labels(campaign)
+        stale_counter = _M_SHARD_STALE_KILLS.labels(campaign)
+
         reports = [ShardReport(index=i) for i in range(self.n_shards)]
         handles: Dict[int, ShardHandle] = {}
         dispatched_at: Dict[int, float] = {}
@@ -471,6 +523,7 @@ class ShardCoordinator:
 
         def land(report: ShardReport, status: str) -> None:
             report.status = status
+            obs.event("shard_landed", shard=report.index, status=status)
             merge_shards(
                 self.out_dir, [self.shard_dir(report.index)], durability=self.durability
             )
@@ -480,6 +533,8 @@ class ShardCoordinator:
                 # Quarantine, but salvage whatever rows the shard stored
                 # across its dispatches — they are valid, resumable work.
                 report.status = "poisoned"
+                _M_SHARD_QUARANTINED.labels(campaign).inc()
+                obs.event("shard_quarantined", shard=report.index)
                 if (self.shard_dir(report.index) / "spec.json").exists():
                     merge_shards(
                         self.out_dir,
@@ -488,57 +543,81 @@ class ShardCoordinator:
                     )
                 return
             report.restarts += 1
+            restart_counter.inc()
             next_dispatch[report.index] = time.monotonic() + self._backoff_delay(
                 report.restarts
             )
 
-        while not all(terminal(r) for r in reports):
-            now = time.monotonic()
-            if self.max_wall_clock_s is not None and now - started > self.max_wall_clock_s:
-                for handle in handles.values():
-                    handle.kill()
-                raise SupervisionError(
-                    f"supervision of campaign {self.spec.name!r} exceeded its "
-                    f"{self.max_wall_clock_s:g}s wall-clock bound with "
-                    f"{sum(not terminal(r) for r in reports)} shard(s) unfinished"
-                )
-            progressed = False
-            for report in reports:
-                index = report.index
-                if terminal(report):
-                    continue
-                if index not in handles:
-                    if now >= next_dispatch[index]:
-                        handles[index] = self.executor.launch(
-                            self._launch_spec(index, report.dispatches)
-                        )
-                        report.dispatches += 1
-                        dispatched_at[index] = time.time()
+        with contextlib.ExitStack() as scope:
+            if self.trace:
+                scope.enter_context(obs.tracing(self.out_dir / obs.TRACE_FILENAME))
+            supervise_span = scope.enter_context(
+                obs.span("supervise", campaign=campaign, n_shards=self.n_shards)
+            )
+            while not all(terminal(r) for r in reports):
+                now = time.monotonic()
+                if self.max_wall_clock_s is not None and now - started > self.max_wall_clock_s:
+                    for handle in handles.values():
+                        handle.kill()
+                    raise SupervisionError(
+                        f"supervision of campaign {self.spec.name!r} exceeded its "
+                        f"{self.max_wall_clock_s:g}s wall-clock bound with "
+                        f"{sum(not terminal(r) for r in reports)} shard(s) unfinished"
+                    )
+                progressed = False
+                for report in reports:
+                    index = report.index
+                    if terminal(report):
+                        continue
+                    if index not in handles:
+                        if now >= next_dispatch[index]:
+                            handles[index] = self.executor.launch(
+                                self._launch_spec(index, report.dispatches)
+                            )
+                            report.dispatches += 1
+                            dispatch_counter.inc()
+                            obs.event(
+                                "shard_dispatch",
+                                shard=index,
+                                dispatch=report.dispatches,
+                            )
+                            dispatched_at[index] = time.time()
+                            progressed = True
+                        continue
+                    code = handles[index].poll()
+                    if code is not None:
+                        del handles[index]
+                        report.exit_codes.append(code)
                         progressed = True
-                    continue
-                code = handles[index].poll()
-                if code is not None:
-                    del handles[index]
-                    report.exit_codes.append(code)
-                    progressed = True
-                    if code == 0:
-                        land(report, "landed")
-                    elif code == 1 and not self.restart_failed_shards:
-                        land(report, "landed-with-failures")
+                        obs.event("shard_exit", shard=index, code=code)
+                        if code == 0:
+                            land(report, "landed")
+                        elif code == 1 and not self.restart_failed_shards:
+                            land(report, "landed-with-failures")
+                        else:
+                            crash(report)
                     else:
-                        crash(report)
-                elif self._heartbeat_age(index, dispatched_at[index]) > self.heartbeat_timeout_s:
-                    handles[index].kill()
-                    del handles[index]
-                    report.exit_codes.append(None)
-                    report.stale_kills += 1
-                    progressed = True
-                    crash(report)
-            if not progressed:
-                time.sleep(self.poll_interval_s)
+                        age = self._heartbeat_age(index, dispatched_at[index])
+                        _M_HEARTBEAT_AGE.labels(campaign, str(index)).set(age)
+                        if age > self.heartbeat_timeout_s:
+                            handles[index].kill()
+                            del handles[index]
+                            report.exit_codes.append(None)
+                            report.stale_kills += 1
+                            stale_counter.inc()
+                            obs.event("shard_stale_kill", shard=index, age_s=age)
+                            progressed = True
+                            crash(report)
+                if not progressed:
+                    time.sleep(self.poll_interval_s)
 
-        records = campaign_records(self.spec, out_store.rows())
-        digest = campaign_digest(records)
+            records = campaign_records(self.spec, out_store.rows())
+            digest = campaign_digest(records)
+            supervise_span.set(digest=digest[:12])
+        # The merged directory gets its own registry snapshot, so
+        # `repro campaign metrics <out_dir>` covers supervised runs too.
+        with contextlib.suppress(OSError):
+            obs.get_registry().write_snapshot(self.out_dir / obs.METRICS_FILENAME)
         report = SupervisionReport(
             campaign=self.spec.name,
             n_shards=self.n_shards,

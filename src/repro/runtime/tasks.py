@@ -27,6 +27,7 @@ import time
 from collections import OrderedDict
 from typing import Any, Dict, Optional, Tuple
 
+from repro import obs
 from repro.exceptions import CampaignError, ReproError, TaskTimeout
 from repro.hypergraph import (
     Hypergraph,
@@ -132,9 +133,10 @@ class InstanceCache:
             self.hits += 1
             return cached, True
         self.misses += 1
-        hypergraph = build_instance(
-            family=family, n=n, m=m, k=k, epsilon=epsilon, seed=seed
-        )
+        with obs.span("instance_build", family=family, n=n, m=m):
+            hypergraph = build_instance(
+                family=family, n=n, m=m, k=k, epsilon=epsilon, seed=seed
+            )
         self._entries[key] = hypergraph
         if len(self._entries) > self.maxsize:
             self._entries.popitem(last=False)
@@ -265,6 +267,8 @@ def execute_task(payload: Dict[str, Any]) -> Dict[str, Any]:
         "instance_seed": payload["instance_seed"],
         "attempt": attempt,
     }
+    task_span = obs.span("task", task_key=payload["task_key"], attempt=attempt)
+    task_span.__enter__()
     try:
         from repro.core.reduction import ConflictFreeMulticoloringViaMaxIS
 
@@ -318,4 +322,10 @@ def execute_task(payload: Dict[str, Any]) -> Dict[str, Any]:
                 "wall_time_s": time.perf_counter() - start,
             }
         )
+    finally:
+        # Explicit enter/exit (not `with`): an injected chaos kill exits
+        # the process inside the body, and the span must not swallow or
+        # reorder the except clauses above that build the result row.
+        task_span.set(status=row.get("status", "crashed"))
+        task_span.__exit__(None, None, None)
     return row

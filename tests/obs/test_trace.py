@@ -1,0 +1,202 @@
+"""Unit tests for the tracing layer (:mod:`repro.obs.trace`).
+
+Pins the sidecar discipline the runtime relies on: a no-op global
+default, thread-local span nesting, one flushed JSON line per record,
+truncated-tail termination on reopen (the kill-tolerance contract shared
+with the row store), and the reader/validator semantics around malformed
+lines.
+"""
+
+import json
+import threading
+
+import pytest
+
+from repro import obs
+from repro.exceptions import ObsError
+from repro.obs import (
+    TRACE_VERSION,
+    JsonlTracer,
+    NullTracer,
+    read_trace,
+    validate_trace,
+)
+
+
+class TestNullDefault:
+    def test_default_tracer_is_a_noop(self):
+        assert isinstance(obs.get_tracer(), NullTracer)
+        assert not obs.tracing_enabled()
+        with obs.span("anything", k=3) as span:
+            span.set(more="attrs")
+        obs.event("anything", x=1)  # nothing raised, nothing written
+
+    def test_tracing_context_installs_and_restores(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        before = obs.get_tracer()
+        with obs.tracing(path) as tracer:
+            assert obs.get_tracer() is tracer
+            assert obs.tracing_enabled()
+            obs.event("inside")
+        assert obs.get_tracer() is before
+        assert not obs.tracing_enabled()
+        # The handle was closed on exit: late writes are dropped silently.
+        tracer.event("after-close")
+        names = [r.get("name") for r in read_trace(path)]
+        assert "inside" in names and "after-close" not in names
+
+
+class TestJsonlTracer:
+    def test_header_spans_and_events_nest(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        with obs.tracing(path):
+            with obs.span("outer", a=1) as outer:
+                obs.event("mark", x=2)
+                with obs.span("inner"):
+                    pass
+                outer.set(b=2)
+        records = read_trace(path)
+        assert records[0]["type"] == "trace_start"
+        assert records[0]["version"] == TRACE_VERSION
+        by_name = {r["name"]: r for r in records[1:]}
+        outer, inner, mark = by_name["outer"], by_name["inner"], by_name["mark"]
+        assert outer["parent_id"] is None and outer["depth"] == 0
+        assert inner["parent_id"] == outer["span_id"] and inner["depth"] == 1
+        assert mark["parent_id"] == outer["span_id"]
+        assert outer["attrs"] == {"a": 1, "b": 2}
+        # Spans close inner-first, so the inner span is written earlier.
+        assert records.index(inner) < records.index(outer)
+        assert inner["dur_s"] >= 0 and outer["dur_s"] >= inner["dur_s"]
+
+    def test_exception_records_error_type(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        with obs.tracing(path):
+            with pytest.raises(ValueError):
+                with obs.span("failing"):
+                    raise ValueError("boom")
+        (span,) = [r for r in read_trace(path) if r["type"] == "span"]
+        assert span["attrs"]["error_type"] == "ValueError"
+
+    def test_every_record_is_one_flushed_json_line(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        with obs.tracing(path):
+            obs.event("first")
+            # Flushed per record: readable while the tracer is still open.
+            lines = path.read_text(encoding="utf-8").splitlines()
+            assert len(lines) == 2  # header + event
+            assert all(json.loads(line) for line in lines)
+
+    def test_reopen_terminates_a_truncated_tail(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        with obs.tracing(path):
+            obs.event("before-kill")
+        # Simulate a kill mid-write: a fragment with no trailing newline.
+        with open(path, "a", encoding="utf-8") as handle:
+            handle.write('{"type": "event", "name": "half-writ')
+        with obs.tracing(path):
+            obs.event("after-restart")
+        names = [r.get("name") for r in read_trace(path) if r["type"] == "event"]
+        assert names == ["before-kill", "after-restart"]
+        valid, skipped = validate_trace(path)
+        assert skipped == 1  # the fragment, now a lone malformed line
+        assert valid == 4  # two headers + two events
+
+    def test_threads_get_independent_span_stacks(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        results = []
+
+        def worker(name):
+            with obs.span(name) as span:
+                results.append((name, span.depth))
+
+        with obs.tracing(path):
+            threads = [
+                threading.Thread(target=worker, args=(f"t{i}",)) for i in range(4)
+            ]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+        # No thread saw another thread's open span as its parent.
+        assert all(depth == 0 for _, depth in results)
+        spans = [r for r in read_trace(path) if r["type"] == "span"]
+        assert {r["name"] for r in spans} == {"t0", "t1", "t2", "t3"}
+        assert all(r["parent_id"] is None for r in spans)
+
+
+class TestReadAndValidate:
+    def test_read_trace_of_missing_file_is_empty(self, tmp_path):
+        assert read_trace(tmp_path / "absent.jsonl") == []
+
+    def test_read_trace_skips_malformed_and_foreign_lines(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        with obs.tracing(path):
+            obs.event("kept")
+        with open(path, "a", encoding="utf-8") as handle:
+            handle.write("not json\n\n[1, 2, 3]\n")
+        records = read_trace(path)
+        assert [r["type"] for r in records] == ["trace_start", "event"]
+
+    def test_validate_trace_missing_file_raises(self, tmp_path):
+        with pytest.raises(ObsError, match="does not exist"):
+            validate_trace(tmp_path / "absent.jsonl")
+
+    def test_validate_trace_requires_a_header(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        path.write_text('{"type": "event", "name": "orphan", "t_s": 0.0}\n')
+        with pytest.raises(ObsError, match="no trace_start header"):
+            validate_trace(path)
+
+    def test_validate_trace_rejects_unknown_record_types(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        with obs.tracing(path):
+            pass
+        with open(path, "a", encoding="utf-8") as handle:
+            handle.write('{"type": "mystery"}\n')
+        with pytest.raises(ObsError, match="not a trace record"):
+            validate_trace(path)
+
+    def test_validate_trace_rejects_missing_keys_and_bad_values(self, tmp_path):
+        incomplete = tmp_path / "incomplete.jsonl"
+        with obs.tracing(incomplete):
+            pass
+        with open(incomplete, "a", encoding="utf-8") as handle:
+            handle.write('{"type": "span", "name": "partial"}\n')
+        with pytest.raises(ObsError, match="missing"):
+            validate_trace(incomplete)
+
+        negative = tmp_path / "negative.jsonl"
+        with obs.tracing(negative):
+            pass
+        with open(negative, "a", encoding="utf-8") as handle:
+            record = {
+                "type": "span",
+                "name": "warped",
+                "span_id": 0,
+                "parent_id": None,
+                "depth": 0,
+                "t_start_s": 1.0,
+                "dur_s": -0.5,
+            }
+            handle.write(json.dumps(record) + "\n")
+        with pytest.raises(ObsError, match="negative"):
+            validate_trace(negative)
+
+    def test_validate_trace_rejects_future_versions(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        path.write_text(
+            json.dumps(
+                {"type": "trace_start", "version": 999, "pid": 1, "unix_time": 0.0}
+            )
+            + "\n"
+        )
+        with pytest.raises(ObsError, match="unsupported trace version"):
+            validate_trace(path)
+
+    def test_validate_trace_accepts_a_real_sidecar(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        with obs.tracing(path):
+            with obs.span("work"):
+                obs.event("mark")
+        valid, skipped = validate_trace(path)
+        assert (valid, skipped) == (3, 0)

@@ -34,6 +34,7 @@ from pathlib import Path
 
 import pytest
 
+from repro import obs
 from repro.runtime import (
     CampaignSpec,
     CampaignStore,
@@ -217,6 +218,24 @@ def test_campaign_execution_modes_match_serial_reference(seed, tmp_path, shared_
     assert _digest_of(spec, killed) == reference, (
         f"{ctx} kill+resume (cut={cut}) digest diverged from the serial reference"
     )
+
+    # Tracing is observational only: a traced serial run is
+    # digest-identical to the untraced reference and leaves a
+    # well-formed sidecar plus a metrics snapshot.
+    traced = tmp_path / "traced"
+    traced_stats = run_campaign(spec, traced, workers=0, trace=True)
+    assert traced_stats.failed == 0, f"{ctx} traced run had failing tasks"
+    assert _deterministic_rows(CampaignStore(traced)) == _deterministic_rows(
+        CampaignStore(tmp_path / "serial")
+    ), f"{ctx} traced rows differ from the untraced serial rows"
+    assert _digest_of(spec, traced) == reference, (
+        f"{ctx} traced digest diverged from the serial reference"
+    )
+    valid, trace_skipped = obs.validate_trace(traced / obs.TRACE_FILENAME)
+    assert valid > 0 and trace_skipped == 0, (
+        f"{ctx} traced sidecar malformed: valid={valid} skipped={trace_skipped}"
+    )
+    assert (traced / obs.METRICS_FILENAME).exists(), f"{ctx} metrics.json missing"
 
     # Incremental aggregation: the persisted partial aggregates feed the
     # same record builder as the full-row scan — digest-identical.

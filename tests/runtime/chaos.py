@@ -22,6 +22,7 @@ import dataclasses
 
 import pytest
 
+from repro import obs
 from repro.exceptions import SupervisionError
 from repro.runtime import (
     CampaignSpec,
@@ -131,6 +132,54 @@ class TestChaosCorpusInline:
             spec, tmp_path, InlineExecutor(), plan, task_timeout_s=0.3
         ).run()
         assert_converged(report, spec, expected, seed)
+
+
+class TestChaosWithTracing:
+    """Tracing under fault injection: observational only, kill-tolerant.
+
+    Runs the subprocess chaos leg with ``--trace`` plumbed through to
+    every shard worker and asserts (1) the digest still converges to the
+    fault-free serial reference — instrumentation must not perturb
+    results even while workers are being killed — and (2) every sidecar
+    is well-formed JSONL after the kills: truncated tail lines are
+    terminated on restart, so the validator sees only skippable
+    fragments, never structurally invalid records.
+    """
+
+    @pytest.mark.parametrize("seed", SUBPROCESS_SEEDS[:3])
+    def test_traced_chaos_run_converges_and_sidecars_stay_well_formed(
+        self, tmp_path, chaos_gate, seed
+    ):
+        spec = chaos_spec(seed)
+        expected = serial_digest(spec, tmp_path)
+        plan = FaultPlan(p_kill=0.1, p_hang=0.05, p_fail=0.15, seed=seed, hang_s=60.0)
+        coordinator = supervise(
+            spec, tmp_path, LocalProcessExecutor(), plan, trace=True
+        )
+        report = coordinator.run()
+        assert_converged(report, spec, expected, seed)
+
+        sidecars = [tmp_path / "supervised" / obs.TRACE_FILENAME] + [
+            coordinator.shard_dir(index) / obs.TRACE_FILENAME
+            for index in range(coordinator.n_shards)
+        ]
+        for sidecar in sidecars:
+            valid, skipped = obs.validate_trace(sidecar)
+            assert valid > 0, f"seed={seed}: empty trace sidecar {sidecar}"
+        shard_records = [
+            record
+            for sidecar in sidecars[1:]
+            for record in obs.read_trace(sidecar)
+        ]
+        task_spans = [
+            r for r in shard_records if r["type"] == "span" and r["name"] == "task"
+        ]
+        done = [r for r in task_spans if r["attrs"].get("status") == "done"]
+        # Every task eventually traced a done span (re-dispatches append
+        # to the same shard sidecar, headers marking each restart).
+        assert {r["attrs"]["task_key"] for r in done} == {
+            t.task_key for t in spec.expand()
+        }, f"seed={seed}: traced done spans do not cover the grid"
 
 
 class TestTargetedRecovery:
